@@ -1,0 +1,42 @@
+//! CCWS (Rogers et al., MICRO 2012) as a runnable baseline.
+//!
+//! CCWS throttles which warps may issue memory instructions based on
+//! lost-locality scoring inside the L1 (victim tag arrays). Because the
+//! scoring needs per-access visibility, the machinery lives in
+//! `equalizer-sim`'s L1 model ([`equalizer_sim::ccws`]); this module just
+//! turns it on and pairs it with a static governor, which is how the
+//! paper runs it (CCWS changes scheduling, not frequencies or block
+//! counts).
+
+use equalizer_sim::ccws::CcwsConfig;
+use equalizer_sim::config::GpuConfig;
+use equalizer_sim::governor::StaticGovernor;
+
+/// Enables CCWS warp throttling on a GPU configuration.
+pub fn with_ccws(mut config: GpuConfig, ccws: CcwsConfig) -> GpuConfig {
+    config.ccws = Some(ccws);
+    config
+}
+
+/// The configuration + governor pair for a CCWS run with default tuning.
+pub fn ccws_baseline(config: GpuConfig) -> (GpuConfig, StaticGovernor) {
+    (with_ccws(config, CcwsConfig::default()), StaticGovernor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_ccws_sets_config() {
+        let c = with_ccws(GpuConfig::gtx480(), CcwsConfig::default());
+        assert!(c.ccws.is_some());
+    }
+
+    #[test]
+    fn baseline_pair_is_static() {
+        let (c, _gov) = ccws_baseline(GpuConfig::gtx480());
+        assert!(c.ccws.is_some());
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,188 @@
+//! DynCTA (Kayiran et al., PACT 2013): a stall-time heuristic for tuning
+//! the number of concurrent thread blocks.
+//!
+//! DynCTA samples two coarse signals per SM — how often the SM sits idle
+//! (nothing to issue: not enough parallelism) and how much of the warp
+//! population is stalled waiting on memory (too much parallelism for the
+//! memory system) — and nudges the CTA count accordingly. Unlike
+//! Equalizer it never distinguishes *latency-bound waiting* (where more
+//! warps would help) from *bandwidth-saturated waiting* (where they do
+//! not): any heavy memory waiting reads as "too many blocks". That is
+//! exactly the failure the paper demonstrates on `spmv` (Figure 11b),
+//! where DynCTA stays throttled after the kernel leaves its cache-
+//! contended phase. It also controls no frequencies.
+
+use equalizer_sim::governor::{EpochContext, EpochDecision, Governor, SmEpochReport};
+#[cfg(test)]
+use equalizer_sim::governor::VfRequest;
+
+/// DynCTA's thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynCtaConfig {
+    /// Idle-cycle fraction above which the SM is starved for work
+    /// (increase blocks).
+    pub idle_high: f64,
+    /// Memory-waiting fraction (waiting warps / active warps) above which
+    /// the SM is oversubscribed (decrease blocks).
+    pub mem_high: f64,
+    /// Memory-waiting fraction below which more blocks are safe
+    /// (increase blocks).
+    pub mem_low: f64,
+}
+
+impl Default for DynCtaConfig {
+    fn default() -> Self {
+        Self {
+            idle_high: 0.20,
+            mem_high: 0.70,
+            mem_low: 0.40,
+        }
+    }
+}
+
+/// The DynCTA governor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DynCta {
+    config: DynCtaConfig,
+}
+
+impl DynCta {
+    /// Creates DynCTA with default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates DynCTA with explicit thresholds.
+    pub fn with_config(config: DynCtaConfig) -> Self {
+        Self { config }
+    }
+
+    fn sm_delta(&self, report: &SmEpochReport) -> i64 {
+        let c = &report.counters;
+        let cycles = c.cycles.max(1) as f64;
+        let idle_frac = c.idle_cycles as f64 / cycles;
+        let active = c.avg_active();
+        let mem_frac = if active > 0.0 {
+            c.avg_waiting() / active
+        } else {
+            0.0
+        };
+        if idle_frac > self.config.idle_high && mem_frac < self.config.mem_high {
+            1
+        } else if mem_frac > self.config.mem_high {
+            -1
+        } else if mem_frac < self.config.mem_low {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+impl Governor for DynCta {
+    fn name(&self) -> &str {
+        "dyncta"
+    }
+
+    fn epoch(&mut self, ctx: &EpochContext, reports: &[SmEpochReport]) -> EpochDecision {
+        let targets = reports
+            .iter()
+            .map(|r| {
+                let delta = self.sm_delta(r);
+                let next =
+                    (r.target_blocks as i64 + delta).clamp(1, ctx.resident_limit as i64) as usize;
+                Some(next)
+            })
+            .collect();
+        EpochDecision {
+            target_blocks: targets,
+            ..EpochDecision::maintain(reports.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equalizer_sim::config::VfLevel;
+    use equalizer_sim::counters::WarpStateCounters;
+
+    fn ctx(limit: usize) -> EpochContext {
+        EpochContext {
+            w_cta: 8,
+            resident_limit: limit,
+            sm_level: VfLevel::Nominal,
+            mem_level: VfLevel::Nominal,
+            epoch_index: 0,
+            invocation: 0,
+            now_fs: 0,
+        }
+    }
+
+    fn report(target: usize, counters: WarpStateCounters) -> SmEpochReport {
+        SmEpochReport {
+            sm: 0,
+            sm_level: VfLevel::Nominal,
+            counters,
+            active_blocks: target,
+            paused_blocks: 0,
+            target_blocks: target,
+        }
+    }
+
+    fn counters(active: u64, waiting: u64, idle: u64, cycles: u64) -> WarpStateCounters {
+        WarpStateCounters {
+            samples: 32,
+            active: active * 32,
+            waiting: waiting * 32,
+            idle_cycles: idle,
+            cycles,
+            ..WarpStateCounters::default()
+        }
+    }
+
+    #[test]
+    fn heavy_memory_waiting_decreases_blocks() {
+        let mut g = DynCta::new();
+        let d = g.epoch(&ctx(6), &[report(6, counters(48, 40, 100, 4096))]);
+        assert_eq!(d.target_blocks[0], Some(5));
+    }
+
+    #[test]
+    fn idleness_increases_blocks() {
+        let mut g = DynCta::new();
+        let d = g.epoch(&ctx(6), &[report(3, counters(10, 2, 2000, 4096))]);
+        assert_eq!(d.target_blocks[0], Some(4));
+    }
+
+    #[test]
+    fn light_memory_waiting_increases_blocks() {
+        let mut g = DynCta::new();
+        let d = g.epoch(&ctx(6), &[report(3, counters(40, 8, 100, 4096))]);
+        assert_eq!(d.target_blocks[0], Some(4));
+    }
+
+    #[test]
+    fn mid_band_holds() {
+        let mut g = DynCta::new();
+        let d = g.epoch(&ctx(6), &[report(4, counters(40, 22, 100, 4096))]);
+        assert_eq!(d.target_blocks[0], Some(4));
+    }
+
+    #[test]
+    fn never_touches_frequencies() {
+        let mut g = DynCta::new();
+        let d = g.epoch(&ctx(6), &[report(6, counters(48, 47, 0, 4096))]);
+        assert_eq!(d.sm_vf, VfRequest::Maintain);
+        assert_eq!(d.mem_vf, VfRequest::Maintain);
+    }
+
+    #[test]
+    fn clamps_to_limits() {
+        let mut g = DynCta::new();
+        let d = g.epoch(&ctx(6), &[report(1, counters(48, 47, 0, 4096))]);
+        assert_eq!(d.target_blocks[0], Some(1));
+        let d = g.epoch(&ctx(6), &[report(6, counters(40, 2, 100, 4096))]);
+        assert_eq!(d.target_blocks[0], Some(6));
+    }
+}

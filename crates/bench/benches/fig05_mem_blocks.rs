@@ -1,0 +1,28 @@
+//! Figure 5: memory-intensive kernels saturate well before the maximum
+//! number of concurrent thread blocks.
+
+use equalizer_bench::default_runner;
+use equalizer_harness::figures::figure5;
+use equalizer_harness::TextTable;
+
+fn main() {
+    let runner = default_runner();
+    let rows = figure5(&runner).expect("simulation");
+
+    println!("\n=== Figure 5: memory-kernel speedup vs. #blocks (normalised to 1 block) ===\n");
+    let max_blocks = rows.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    let mut header = vec!["kernel".to_string()];
+    header.extend((1..=max_blocks).map(|b| format!("{b}blk")));
+    let mut t = TextTable::new(header);
+    for (kernel, speedups) in &rows {
+        let mut row = vec![kernel.clone()];
+        row.extend(speedups.iter().map(|s| format!("{s:.2}")));
+        row.extend(std::iter::repeat_n("-".to_string(), max_blocks - speedups.len()));
+        t.row(row);
+    }
+    println!("{t}");
+    println!(
+        "Paper reference: every memory kernel saturates performance well before its\n\
+         maximum block count — removing blocks is safe once bandwidth stays saturated."
+    );
+}

@@ -1,0 +1,37 @@
+//! Figure 9: fraction of time each kernel spends at each SM / memory
+//! operating point under Equalizer, in both modes.
+
+use equalizer_bench::default_runner;
+use equalizer_harness::figures::{all_kernels, figure9};
+use equalizer_harness::{pct, TextTable};
+
+fn main() {
+    let runner = default_runner();
+    let mut kernels = all_kernels();
+    kernels.sort_by_key(|k| k.category());
+    let rows = figure9(&runner, &kernels).expect("simulation");
+
+    println!("\n=== Figure 9: VF-state residency under Equalizer (P = performance, E = energy) ===\n");
+    let mut t = TextTable::new([
+        "kernel", "cat", "mode", "SM low", "SM nom", "SM high", "Mem low", "Mem nom", "Mem high",
+    ]);
+    for r in &rows {
+        t.row([
+            r.kernel.clone(),
+            r.category.to_string(),
+            r.mode.to_string(),
+            pct(r.sm[0]),
+            pct(r.sm[1]),
+            pct(r.sm[2]),
+            pct(r.mem[0]),
+            pct(r.mem[1]),
+            pct(r.mem[2]),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Paper reference: compute kernels — SM high in P mode, memory low in E mode;\n\
+         memory/cache kernels — memory high in P mode, SM low in E mode; phased\n\
+         kernels (histo-3, mri-g-1/2, sc) split time across both domains."
+    );
+}

@@ -1,0 +1,120 @@
+//! Ablation study (beyond-paper): sensitivity of Equalizer to its design
+//! constants — epoch length, block-change hysteresis, and each control
+//! half (DVFS-only vs. blocks-only). Exercises the design choices §IV
+//! calls out (4096-cycle epochs, 3-epoch hysteresis, coordinated control).
+
+use equalizer_core::{Equalizer, Mode};
+use equalizer_power::PowerModel;
+use equalizer_sim::config::GpuConfig;
+use equalizer_sim::gpu::{simulate, SimError};
+use equalizer_sim::governor::{Governor, StaticGovernor};
+use equalizer_sim::kernel::KernelSpec;
+use equalizer_harness::TextTable;
+use equalizer_workloads::kernel_by_name;
+
+struct Outcome {
+    speedup: f64,
+    energy_ratio: f64,
+}
+
+fn run(
+    config: &GpuConfig,
+    kernel: &KernelSpec,
+    governor: &mut dyn Governor,
+    base_time: f64,
+    base_energy: f64,
+) -> Result<Outcome, SimError> {
+    let stats = simulate(config, kernel, governor)?;
+    let energy = PowerModel::gtx480().energy(&stats).total_j();
+    Ok(Outcome {
+        speedup: base_time / stats.time_seconds(),
+        energy_ratio: energy / base_energy,
+    })
+}
+
+fn main() {
+    let kernels: Vec<KernelSpec> = ["kmn", "cfd-1", "mri-q", "sc", "prtcl-2"]
+        .iter()
+        .map(|n| kernel_by_name(n).expect("catalog kernel"))
+        .collect();
+    let model = PowerModel::gtx480();
+
+    println!("\n=== Ablation: Equalizer design constants (performance mode) ===\n");
+    let mut t = TextTable::new([
+        "kernel",
+        "variant",
+        "speedup",
+        "energy ratio",
+    ]);
+
+    for kernel in &kernels {
+        let base_cfg = GpuConfig::gtx480();
+        let base = simulate(&base_cfg, kernel, &mut StaticGovernor).expect("baseline");
+        let base_time = base.time_seconds();
+        let base_energy = model.energy(&base).total_j();
+
+        // Epoch-length sweep.
+        for epoch in [1024u64, 4096, 16384] {
+            let mut cfg = GpuConfig::gtx480();
+            cfg.epoch_cycles = epoch;
+            let mut gov = Equalizer::new(Mode::Performance, cfg.num_sms);
+            let o = run(&cfg, kernel, &mut gov, base_time, base_energy).expect("run");
+            t.row([
+                kernel.name().to_string(),
+                format!("epoch={epoch}"),
+                format!("{:.3}", o.speedup),
+                format!("{:.3}", o.energy_ratio),
+            ]);
+        }
+
+        // Hysteresis sweep.
+        for h in [1u32, 3, 5] {
+            let cfg = GpuConfig::gtx480();
+            let mut gov = Equalizer::new(Mode::Performance, cfg.num_sms).with_hysteresis(h);
+            let o = run(&cfg, kernel, &mut gov, base_time, base_energy).expect("run");
+            t.row([
+                kernel.name().to_string(),
+                format!("hysteresis={h}"),
+                format!("{:.3}", o.speedup),
+                format!("{:.3}", o.energy_ratio),
+            ]);
+        }
+
+        // Control halves.
+        let cfg = GpuConfig::gtx480();
+        let mut gov = Equalizer::new(Mode::Performance, cfg.num_sms).with_block_control(false);
+        let o = run(&cfg, kernel, &mut gov, base_time, base_energy).expect("run");
+        t.row([
+            kernel.name().to_string(),
+            "dvfs-only".to_string(),
+            format!("{:.3}", o.speedup),
+            format!("{:.3}", o.energy_ratio),
+        ]);
+        let mut gov =
+            Equalizer::new(Mode::Performance, cfg.num_sms).with_frequency_control(false);
+        let o = run(&cfg, kernel, &mut gov, base_time, base_energy).expect("run");
+        t.row([
+            kernel.name().to_string(),
+            "blocks-only".to_string(),
+            format!("{:.3}", o.speedup),
+            format!("{:.3}", o.energy_ratio),
+        ]);
+
+        // Per-SM voltage regulators (the paper's §V-A1 variant).
+        let mut cfg = GpuConfig::gtx480();
+        cfg.per_sm_vrm = true;
+        let mut gov = Equalizer::new(Mode::Performance, cfg.num_sms).with_per_sm_vrm(true);
+        let o = run(&cfg, kernel, &mut gov, base_time, base_energy).expect("run");
+        t.row([
+            kernel.name().to_string(),
+            "per-SM VRM".to_string(),
+            format!("{:.3}", o.speedup),
+            format!("{:.3}", o.energy_ratio),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Expected shape: 4096-cycle epochs and 3-epoch hysteresis are a sweet spot;\n\
+         cache kernels need both halves (blocks for the L1, DVFS for the boost)."
+    );
+}

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the simulator itself: cycles/second on
+//! representative kernels and the cost of an Equalizer epoch decision.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use equalizer_core::{decide, Equalizer, Mode};
+use equalizer_sim::config::GpuConfig;
+use equalizer_sim::counters::WarpStateCounters;
+use equalizer_sim::gpu::simulate;
+use equalizer_sim::governor::StaticGovernor;
+use equalizer_workloads::kernel_by_name;
+use std::hint::black_box;
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let mut config = GpuConfig::gtx480();
+    config.num_sms = 4;
+
+    for name in ["mri-q", "cfd-2", "mmer"] {
+        let kernel = kernel_by_name(name).expect("catalog kernel");
+        group.bench_function(format!("baseline/{name}"), |b| {
+            b.iter(|| {
+                let stats =
+                    simulate(black_box(&config), black_box(&kernel), &mut StaticGovernor)
+                        .expect("simulation");
+                black_box(stats.instructions())
+            })
+        });
+    }
+
+    let kernel = kernel_by_name("mmer").expect("catalog kernel");
+    group.bench_function("equalizer/mmer", |b| {
+        b.iter(|| {
+            let mut gov = Equalizer::new(Mode::Performance, config.num_sms);
+            let stats = simulate(black_box(&config), black_box(&kernel), &mut gov)
+                .expect("simulation");
+            black_box(stats.instructions())
+        })
+    });
+    group.finish();
+}
+
+fn decision_cost(c: &mut Criterion) {
+    let counters = WarpStateCounters {
+        samples: 32,
+        active: 32 * 48,
+        waiting: 32 * 20,
+        excess_alu: 32 * 3,
+        excess_mem: 32 * 9,
+        ..WarpStateCounters::default()
+    };
+    c.bench_function("algorithm1/decide", |b| {
+        b.iter(|| black_box(decide(black_box(&counters), black_box(8))))
+    });
+}
+
+criterion_group!(benches, sim_throughput, decision_cost);
+criterion_main!(benches);

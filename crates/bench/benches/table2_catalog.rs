@@ -1,0 +1,43 @@
+//! Table II: the benchmark catalog — kernel names, categories, time
+//! fractions, block limits and warps per block, plus measured baseline
+//! characteristics from the simulator.
+
+use equalizer_bench::default_runner;
+use equalizer_harness::{parallel_map, Runner, TextTable};
+use equalizer_workloads::{short_name, table_ii_kernels, TABLE_II};
+
+fn main() {
+    println!("\n=== Table II: benchmark description ===\n");
+    let mut t = TextTable::new([
+        "application",
+        "kernel",
+        "type",
+        "fraction",
+        "num blocks",
+        "W_cta",
+        "IPC/SM",
+        "L1 hit",
+    ]);
+
+    let runner: Runner = default_runner();
+    let kernels = table_ii_kernels();
+    let measured = parallel_map(kernels, |k| {
+        let m = runner.baseline(k).expect("baseline");
+        (m.stats.ipc_per_sm(), m.stats.l1_hit_rate())
+    });
+
+    for (row, (ipc, l1)) in TABLE_II.iter().zip(measured) {
+        t.row([
+            row.application.to_string(),
+            short_name(row.application, row.kernel_id),
+            row.category.to_string(),
+            format!("{:.2}", row.fraction),
+            row.num_blocks.to_string(),
+            row.w_cta.to_string(),
+            format!("{ipc:.2}"),
+            format!("{l1:.2}"),
+        ]);
+    }
+    println!("{t}");
+    println!("27 kernels from Rodinia and Parboil, shapes as in the paper's Table II.");
+}

@@ -1,0 +1,33 @@
+//! Developer probe: fixed-block-count sweep for one kernel.
+
+use equalizer_harness::{compare, parallel_map, Runner, System};
+use equalizer_workloads::kernel_by_name;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "kmn".into());
+    let runner = Runner::gtx480();
+    let k = kernel_by_name(&name).expect("kernel");
+    let base = runner.baseline(&k).expect("baseline");
+    let limit = k.resident_block_limit(8, 48);
+    let blocks: Vec<usize> = (1..=limit).collect();
+    let rows = parallel_map(blocks, |&b| {
+        let m = runner.run(&k, System::FixedBlocks(b)).expect("run");
+        (b, m)
+    });
+    println!(
+        "kernel {name} (limit {limit}): baseline {:.3} ms, L1 {:.3}",
+        base.time_s() * 1e3,
+        base.stats.l1_hit_rate()
+    );
+    for (b, m) in rows {
+        let c = compare(&base, &m);
+        println!(
+            "  blocks {b}: speedup {:.3}  L1 {:.3}  L2 {:.3}  dram {:.2}M  E {:.1}%",
+            c.speedup,
+            m.stats.l1_hit_rate(),
+            m.stats.l2_hit_rate(),
+            m.stats.dram_accesses() as f64 / 1e6,
+            (c.energy_ratio - 1.0) * 100.0,
+        );
+    }
+}

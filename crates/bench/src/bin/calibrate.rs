@@ -1,0 +1,70 @@
+//! Calibration probe: per-kernel baseline characteristics plus the key
+//! relative numbers the paper's figures depend on. Not a paper artifact —
+//! a development tool for tuning the workload catalog and power model.
+
+use equalizer_baselines::StaticPoint;
+use equalizer_core::Mode;
+use equalizer_harness::{compare, parallel_map, Runner, System, TextTable};
+use equalizer_sim::kernel::KernelSpec;
+use equalizer_workloads::table_ii_kernels;
+
+fn main() {
+    let runner = Runner::gtx480();
+    let kernels: Vec<KernelSpec> = std::env::args()
+        .skip(1)
+        .filter_map(|n| equalizer_workloads::kernel_by_name(&n))
+        .collect();
+    let kernels = if kernels.is_empty() {
+        table_ii_kernels()
+    } else {
+        kernels
+    };
+
+    let rows = parallel_map(kernels, |k| {
+        let base = runner.baseline(k).expect("baseline run");
+        let sm_hi = runner.run(k, System::Static(StaticPoint::SmHigh)).expect("run");
+        let sm_lo = runner.run(k, System::Static(StaticPoint::SmLow)).expect("run");
+        let mem_hi = runner.run(k, System::Static(StaticPoint::MemHigh)).expect("run");
+        let mem_lo = runner.run(k, System::Static(StaticPoint::MemLow)).expect("run");
+        let eq_p = runner.run(k, System::Equalizer(Mode::Performance)).expect("run");
+        let eq_e = runner.run(k, System::Equalizer(Mode::Energy)).expect("run");
+        let ws = &base.stats.warp_states;
+        let power = base.energy_j() / base.time_s();
+        (
+            k.name().to_string(),
+            k.category().to_string(),
+            format!("{:.0}k", base.stats.sm_cycles_at.iter().sum::<u64>() as f64 / 1e3),
+            format!("{:.2}", base.stats.ipc_per_sm()),
+            format!("{:.2}", base.stats.l1_hit_rate()),
+            format!("{:.1}", ws.avg_waiting()),
+            format!("{:.1}", ws.avg_excess_alu()),
+            format!("{:.1}", ws.avg_excess_mem()),
+            format!("{:.0}W", power),
+            format!("{:.3}", compare(&base, &sm_hi).speedup),
+            format!("{:.3}", compare(&base, &sm_lo).speedup),
+            format!("{:.3}", compare(&base, &mem_hi).speedup),
+            format!("{:.3}", compare(&base, &mem_lo).speedup),
+            format!(
+                "{:.3}/{:+.1}%",
+                compare(&base, &eq_p).speedup,
+                (compare(&base, &eq_p).energy_ratio - 1.0) * 100.0
+            ),
+            format!(
+                "{:.3}/{:+.1}%",
+                compare(&base, &eq_e).speedup,
+                (compare(&base, &eq_e).energy_ratio - 1.0) * 100.0
+            ),
+        )
+    });
+
+    let mut t = TextTable::new([
+        "kernel", "cat", "cycles", "IPC", "L1", "wait", "Xalu", "Xmem", "power", "sm+",
+        "sm-", "mem+", "mem-", "EQ-P", "EQ-E",
+    ]);
+    for r in rows {
+        t.row([
+            r.0, r.1, r.2, r.3, r.4, r.5, r.6, r.7, r.8, r.9, r.10, r.11, r.12, r.13, r.14,
+        ]);
+    }
+    println!("{t}");
+}

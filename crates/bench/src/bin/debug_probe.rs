@@ -1,0 +1,89 @@
+//! Developer probe: dump detailed per-epoch state for one kernel run.
+
+use equalizer_baselines::StaticPoint;
+use equalizer_harness::{Runner, System};
+use equalizer_workloads::kernel_by_name;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "cfd-1".into());
+    let system = match std::env::args().nth(2).as_deref() {
+        Some("sm-") => System::Static(StaticPoint::SmLow),
+        Some("sm+") => System::Static(StaticPoint::SmHigh),
+        Some("mem+") => System::Static(StaticPoint::MemHigh),
+        Some("mem-") => System::Static(StaticPoint::MemLow),
+        Some("eqp") => System::Equalizer(equalizer_core::Mode::Performance),
+        Some("eqe") => System::Equalizer(equalizer_core::Mode::Energy),
+        Some("eqb") => System::EqualizerBlocksOnly,
+        Some("dyncta") => System::DynCta,
+        Some("ccws") => System::Ccws,
+        Some(n) if n.parse::<usize>().is_ok() => {
+            System::FixedBlocks(n.parse().expect("checked"))
+        }
+        _ => System::Static(StaticPoint::Baseline),
+    };
+    let runner = Runner::gtx480();
+    let k = kernel_by_name(&name)
+        .or_else(|| (name == "bfs-2").then(equalizer_workloads::bfs2))
+        .expect("kernel");
+    let m = runner.run(&k, system).expect("run");
+    let s = &m.stats;
+    println!("kernel {name} @ {system:?}");
+    println!(
+        "wall {:.3} ms, sm cycles {}, mem cycles {}",
+        s.time_seconds() * 1e3,
+        s.sm_cycles_at.iter().sum::<u64>(),
+        s.mem_cycles_at.iter().sum::<u64>()
+    );
+    println!(
+        "instr {} ipc/sm {:.3} l1 {:.3} l2 {:.3} dram {} busy_frac {:.3}",
+        s.instructions(),
+        s.ipc_per_sm(),
+        s.l1_hit_rate(),
+        s.l2_hit_rate(),
+        s.dram_accesses(),
+        s.mem_events.iter().map(|e| e.dram_busy_cycles).sum::<u64>() as f64
+            / s.mem_cycles_at.iter().sum::<u64>().max(1) as f64
+    );
+    let mem_cycles = s.mem_cycles_at.iter().sum::<u64>().max(1);
+    println!(
+        "idle-upstream {:.3} mean-icnt-occ {:.1}",
+        s.mem_events
+            .iter()
+            .map(|e| e.dram_idle_upstream_cycles)
+            .sum::<u64>() as f64
+            / mem_cycles as f64,
+        s.mem_events.iter().map(|e| e.icnt_occupancy_sum).sum::<u64>() as f64 / mem_cycles as f64
+    );
+    let ws = &s.warp_states;
+    println!(
+        "warp-state avgs (per SM): active {:.1} waiting {:.1} issued {:.2} xalu {:.1} xmem {:.1} others {:.1} samples {}",
+        ws.avg_active(),
+        ws.avg_waiting(),
+        ws.avg_issued(),
+        ws.avg_excess_alu(),
+        ws.avg_excess_mem(),
+        ws.others as f64 / ws.samples.max(1) as f64,
+        ws.samples
+    );
+    if s.invocations.len() > 1 {
+        print!("inv times (us):");
+        for i in &s.invocations {
+            print!(" {:.1}", i.wall_fs as f64 / 1e9);
+        }
+        println!();
+    }
+    let n_ep = s.epochs.len();
+    let step = (n_ep / 24).max(1);
+    for e in s.epochs.iter().step_by(step) {
+        println!(
+            "  epoch {:>3} inv {} active {:>5.1} wait {:>5.1} xalu {:>5.1} xmem {:>5.1} blocks {:.1}",
+            e.epoch_index,
+            e.invocation,
+            e.counters.avg_active(),
+            e.counters.avg_waiting(),
+            e.counters.avg_excess_alu(),
+            e.counters.avg_excess_mem(),
+            e.mean_active_blocks
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Hardware cost of the Equalizer counters (§V-A2).
+//!
+//! Equalizer's statistics stage adds five counters per SM: the four
+//! warp-state accumulators plus a cycle counter that delimits the epoch.
+//! The paper sizes them for a 48-warp SM sampled every 128 cycles over a
+//! 4096-cycle epoch: each accumulator can reach `48 × 32 = 1536`, so
+//! 11 bits suffice, and the cycle counter needs 12 bits — negligible next
+//! to an SM's 32 FPUs and 32 768 registers. This module reproduces that
+//! arithmetic for arbitrary configurations so the cost claim can be
+//! checked rather than asserted.
+
+use equalizer_sim::config::GpuConfig;
+
+/// Bit widths of Equalizer's per-SM hardware state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareCost {
+    /// Width of each of the four warp-state accumulators.
+    pub state_counter_bits: u32,
+    /// Number of warp-state accumulators (always four).
+    pub state_counters: u32,
+    /// Width of the epoch cycle counter.
+    pub cycle_counter_bits: u32,
+    /// Samples taken per epoch.
+    pub samples_per_epoch: u64,
+    /// Maximum value a state accumulator can reach.
+    pub max_accumulator_value: u64,
+}
+
+impl HardwareCost {
+    /// Total storage bits added per SM.
+    pub fn total_bits(&self) -> u32 {
+        self.state_counters * self.state_counter_bits + self.cycle_counter_bits
+    }
+}
+
+fn bits_for(max_value: u64) -> u32 {
+    64 - max_value.max(1).leading_zeros()
+}
+
+/// Computes the per-SM counter cost for a GPU configuration.
+///
+/// # Examples
+///
+/// ```
+/// use equalizer_core::cost::hardware_cost;
+/// use equalizer_sim::config::GpuConfig;
+///
+/// let cost = hardware_cost(&GpuConfig::gtx480());
+/// assert_eq!(cost.state_counter_bits, 11); // the paper's 11-bit counters
+/// assert_eq!(cost.cycle_counter_bits, 12); // and 12-bit cycle counter
+/// ```
+pub fn hardware_cost(config: &GpuConfig) -> HardwareCost {
+    let samples = config.samples_per_epoch();
+    let max_acc = config.max_warps_per_sm as u64 * samples;
+    HardwareCost {
+        state_counter_bits: bits_for(max_acc),
+        state_counters: 4,
+        // The cycle counter wraps at the epoch length, so it holds values
+        // 0..epoch_cycles-1.
+        cycle_counter_bits: bits_for(config.epoch_cycles.saturating_sub(1)),
+        samples_per_epoch: samples,
+        max_accumulator_value: max_acc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_papers_sizing() {
+        let c = hardware_cost(&GpuConfig::gtx480());
+        assert_eq!(c.samples_per_epoch, 32);
+        assert_eq!(c.max_accumulator_value, 1536);
+        assert_eq!(c.state_counter_bits, 11);
+        assert_eq!(c.cycle_counter_bits, 12);
+        assert_eq!(c.total_bits(), 4 * 11 + 12);
+    }
+
+    #[test]
+    fn scales_with_epoch_length() {
+        let mut cfg = GpuConfig::gtx480();
+        cfg.epoch_cycles = 16384;
+        let c = hardware_cost(&cfg);
+        assert_eq!(c.samples_per_epoch, 128);
+        assert_eq!(c.cycle_counter_bits, 14);
+        assert!(c.state_counter_bits > 11);
+    }
+
+    #[test]
+    fn bits_for_edge_cases() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(1536), 11);
+        assert_eq!(bits_for(4096), 13);
+    }
+}

@@ -1,0 +1,235 @@
+//! Algorithm 1: Equalizer's per-SM decision procedure.
+//!
+//! Once per epoch the four warp-state counters (averaged over the epoch's
+//! 32 samples) are compared against two thresholds:
+//!
+//! * `W_cta`, the warps per thread block — if more warps than a whole
+//!   block sit in an excess state, a full block's worth of parallelism is
+//!   pure contention, so the corresponding resource is saturated *and*
+//!   (for memory) one block can be removed without starving anything;
+//! * the constant 2 — in steady state even two warps stuck in `X_mem`
+//!   indicate bandwidth back-pressure (§III-A).
+
+use equalizer_sim::counters::WarpStateCounters;
+
+use crate::mode::Action;
+
+/// Counter averages consumed by Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AveragedCounters {
+    /// Mean active warps per sample (`nActive`).
+    pub active: f64,
+    /// Mean waiting warps per sample (`nWaiting`).
+    pub waiting: f64,
+    /// Mean `X_alu` warps per sample (`nALU`).
+    pub excess_alu: f64,
+    /// Mean `X_mem` warps per sample (`nMem`).
+    pub excess_mem: f64,
+}
+
+impl From<&WarpStateCounters> for AveragedCounters {
+    fn from(c: &WarpStateCounters) -> Self {
+        Self {
+            active: c.avg_active(),
+            waiting: c.avg_waiting(),
+            excess_alu: c.avg_excess_alu(),
+            excess_mem: c.avg_excess_mem(),
+        }
+    }
+}
+
+/// The kernel tendency detected from the warp state (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tendency {
+    /// `nMem > W_cta`: definitely memory intensive — a whole block's worth
+    /// of warps is stalled on memory.
+    HeavyMemory,
+    /// `nALU > W_cta`: definitely compute intensive.
+    HeavyCompute,
+    /// `nMem > 2`: likely memory intensive (bandwidth saturated), but not
+    /// by a full block.
+    BandwidthSaturated,
+    /// Most warps wait on memory but nothing is saturated: room for more
+    /// parallelism, with a compute or memory inclination.
+    Unsaturated {
+        /// `nALU > nMem` at detection time.
+        compute_inclined: bool,
+    },
+    /// `nActive == 0`: the SM ran out of accounted work (load imbalance).
+    Idle,
+    /// None of the above; leave all parameters alone.
+    Degenerate,
+}
+
+/// What one SM proposes for the next epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SmProposal {
+    /// Requested change to the SM's concurrent-block count.
+    pub block_delta: i8,
+    /// The frequency action (fed through Table I by the mode).
+    pub action: Option<Action>,
+    /// The tendency that produced this proposal (for tracing).
+    pub tendency: Option<Tendency>,
+}
+
+/// Classifies the epoch's counters (lines 7–22 of Algorithm 1).
+pub fn detect(c: &AveragedCounters, w_cta: usize) -> Tendency {
+    let w_cta = w_cta as f64;
+    if c.excess_mem > w_cta {
+        Tendency::HeavyMemory
+    } else if c.excess_alu > w_cta {
+        Tendency::HeavyCompute
+    } else if c.excess_mem > 2.0 {
+        Tendency::BandwidthSaturated
+    } else if c.waiting > c.active / 2.0 {
+        Tendency::Unsaturated {
+            compute_inclined: c.excess_alu > c.excess_mem,
+        }
+    } else if c.active < 0.5 {
+        Tendency::Idle
+    } else {
+        Tendency::Degenerate
+    }
+}
+
+/// Maps a tendency to the block-count change and frequency action of
+/// Algorithm 1.
+pub fn propose(tendency: Tendency) -> SmProposal {
+    let (block_delta, action) = match tendency {
+        // Line 7–9: drop one block (relieves cache contention, keeps the
+        // bandwidth saturated) and take the memory action.
+        Tendency::HeavyMemory => (-1, Some(Action::Mem)),
+        // Line 10–11.
+        Tendency::HeavyCompute => (0, Some(Action::Comp)),
+        // Line 12–13: saturated, but removing a block could
+        // under-subscribe the bandwidth — only the frequency action.
+        Tendency::BandwidthSaturated => (0, Some(Action::Mem)),
+        // Line 14–20: close to ideal — add parallelism, act on the
+        // inclination.
+        Tendency::Unsaturated { compute_inclined } => (
+            1,
+            Some(if compute_inclined {
+                Action::Comp
+            } else {
+                Action::Mem
+            }),
+        ),
+        // Line 21–22: load imbalance — race the stragglers to the finish.
+        Tendency::Idle => (0, Some(Action::Comp)),
+        Tendency::Degenerate => (0, None),
+    };
+    SmProposal {
+        block_delta,
+        action,
+        tendency: Some(tendency),
+    }
+}
+
+/// Convenience: full Algorithm 1 from raw epoch counters.
+pub fn decide(counters: &WarpStateCounters, w_cta: usize) -> SmProposal {
+    propose(detect(&AveragedCounters::from(counters), w_cta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avg(active: f64, waiting: f64, alu: f64, mem: f64) -> AveragedCounters {
+        AveragedCounters {
+            active,
+            waiting,
+            excess_alu: alu,
+            excess_mem: mem,
+        }
+    }
+
+    #[test]
+    fn heavy_memory_drops_a_block() {
+        let t = detect(&avg(48.0, 20.0, 1.0, 10.0), 8);
+        assert_eq!(t, Tendency::HeavyMemory);
+        let p = propose(t);
+        assert_eq!(p.block_delta, -1);
+        assert_eq!(p.action, Some(Action::Mem));
+    }
+
+    #[test]
+    fn heavy_compute_keeps_blocks() {
+        let t = detect(&avg(48.0, 10.0, 20.0, 1.0), 8);
+        assert_eq!(t, Tendency::HeavyCompute);
+        let p = propose(t);
+        assert_eq!(p.block_delta, 0);
+        assert_eq!(p.action, Some(Action::Comp));
+    }
+
+    #[test]
+    fn memory_check_takes_priority_over_compute() {
+        // Both beyond W_cta: line 7 fires first.
+        let t = detect(&avg(48.0, 10.0, 20.0, 10.0), 8);
+        assert_eq!(t, Tendency::HeavyMemory);
+    }
+
+    #[test]
+    fn bandwidth_saturation_threshold_is_two() {
+        let t = detect(&avg(48.0, 30.0, 1.0, 3.0), 8);
+        assert_eq!(t, Tendency::BandwidthSaturated);
+        assert_eq!(propose(t).block_delta, 0, "must not under-subscribe bandwidth");
+        // Exactly 2 is NOT saturation (strict inequality).
+        let t = detect(&avg(48.0, 30.0, 1.0, 2.0), 8);
+        assert_ne!(t, Tendency::BandwidthSaturated);
+    }
+
+    #[test]
+    fn waiting_majority_adds_a_block_with_inclination() {
+        let t = detect(&avg(40.0, 25.0, 1.5, 0.5), 8);
+        assert_eq!(
+            t,
+            Tendency::Unsaturated {
+                compute_inclined: true
+            }
+        );
+        let p = propose(t);
+        assert_eq!(p.block_delta, 1);
+        assert_eq!(p.action, Some(Action::Comp));
+
+        let t = detect(&avg(40.0, 25.0, 0.5, 1.5), 8);
+        assert_eq!(propose(t).action, Some(Action::Mem));
+    }
+
+    #[test]
+    fn idle_sm_races_to_finish() {
+        let t = detect(&avg(0.0, 0.0, 0.0, 0.0), 8);
+        assert_eq!(t, Tendency::Idle);
+        assert_eq!(propose(t).action, Some(Action::Comp));
+    }
+
+    #[test]
+    fn degenerate_changes_nothing() {
+        // Active warps mostly issuing, no excess, little waiting.
+        let t = detect(&avg(40.0, 10.0, 1.0, 0.5), 8);
+        assert_eq!(t, Tendency::Degenerate);
+        let p = propose(t);
+        assert_eq!(p.block_delta, 0);
+        assert_eq!(p.action, None);
+    }
+
+    #[test]
+    fn thresholds_scale_with_w_cta() {
+        // nALU = 10 is heavy for W_cta = 8 but not for W_cta = 16.
+        assert_eq!(detect(&avg(48.0, 10.0, 10.0, 0.0), 8), Tendency::HeavyCompute);
+        assert_ne!(
+            detect(&avg(48.0, 10.0, 10.0, 0.0), 16),
+            Tendency::HeavyCompute
+        );
+    }
+
+    #[test]
+    fn decide_composes_detect_and_propose() {
+        let mut c = WarpStateCounters::default();
+        c.samples = 32;
+        c.excess_mem = 32 * 12; // avg 12 > W_cta 8
+        c.active = 32 * 48;
+        let p = decide(&c, 8);
+        assert_eq!(p.block_delta, -1);
+        assert_eq!(p.tendency, Some(Tendency::HeavyMemory));
+    }
+}

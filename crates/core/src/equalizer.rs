@@ -1,0 +1,446 @@
+//! The Equalizer governor: ties Algorithm 1, the Table I action matrix
+//! and the frequency manager together behind the simulator's
+//! [`Governor`] hook.
+//!
+//! Per-SM concurrency decisions use the paper's hysteresis (§IV-B): a
+//! block-count change is applied only after three consecutive epochs
+//! propose the same direction, which filters out the spurious warp-state
+//! transients the decision itself induces.
+
+use equalizer_sim::governor::{
+    EpochContext, EpochDecision, Governor, SmEpochReport, VfRequest,
+};
+use equalizer_sim::kernel::KernelSpec;
+
+use crate::decision::{decide, SmProposal, Tendency};
+use crate::freq_manager::tally;
+use crate::mode::{table_i_votes, Mode, Vote};
+
+/// Consecutive same-direction proposals required before a block-count
+/// change is applied (3 in the paper).
+pub const BLOCK_HYSTERESIS: u32 = 3;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SmState {
+    /// Direction currently being debated (-1, 0, +1).
+    pending_dir: i8,
+    /// Consecutive epochs that proposed `pending_dir`.
+    streak: u32,
+    /// The concurrency target Equalizer believes this SM should run.
+    /// Persisted across invocations of the same kernel.
+    target: Option<usize>,
+}
+
+/// Per-epoch trace entry (used by the analysis figures).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEntry {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Invocation index.
+    pub invocation: usize,
+    /// Tendency detected on SM 0 (representative).
+    pub tendency: Option<Tendency>,
+    /// Mean target blocks across SMs after the decision.
+    pub mean_target: f64,
+}
+
+/// The Equalizer runtime system.
+#[derive(Debug, Clone)]
+pub struct Equalizer {
+    mode: Mode,
+    sms: Vec<SmState>,
+    hysteresis: u32,
+    frequency_control: bool,
+    block_control: bool,
+    per_sm_vrm: bool,
+    trace: Vec<TraceEntry>,
+    record_trace: bool,
+}
+
+impl Equalizer {
+    /// Creates an Equalizer instance for `num_sms` SMs in the given mode.
+    pub fn new(mode: Mode, num_sms: usize) -> Self {
+        Self {
+            mode,
+            sms: vec![SmState::default(); num_sms],
+            hysteresis: BLOCK_HYSTERESIS,
+            frequency_control: true,
+            block_control: true,
+            per_sm_vrm: false,
+            trace: Vec::new(),
+            record_trace: false,
+        }
+    }
+
+    /// Disables the DVFS half of Equalizer (used by Figure 11a, which
+    /// isolates the block-count adaptation).
+    pub fn with_frequency_control(mut self, enabled: bool) -> Self {
+        self.frequency_control = enabled;
+        self
+    }
+
+    /// Disables the concurrency half of Equalizer (DVFS-only ablation).
+    pub fn with_block_control(mut self, enabled: bool) -> Self {
+        self.block_control = enabled;
+        self
+    }
+
+    /// Issues per-SM frequency requests instead of a majority vote — for
+    /// hardware with per-SM voltage regulators
+    /// ([`equalizer_sim::config::GpuConfig::per_sm_vrm`]). The memory
+    /// domain is still decided by majority vote (there is only one
+    /// memory system).
+    pub fn with_per_sm_vrm(mut self, enabled: bool) -> Self {
+        self.per_sm_vrm = enabled;
+        self
+    }
+
+    /// Overrides the block-count hysteresis (ablation studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero.
+    pub fn with_hysteresis(mut self, epochs: u32) -> Self {
+        assert!(epochs > 0, "hysteresis must be at least one epoch");
+        self.hysteresis = epochs;
+        self
+    }
+
+    /// Enables per-epoch decision tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// The operating mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The recorded decision trace (empty unless [`Self::with_trace`]).
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    fn update_block_target(
+        state: &mut SmState,
+        proposal: &SmProposal,
+        current_target: usize,
+        resident_limit: usize,
+        hysteresis: u32,
+    ) -> usize {
+        let base = state.target.unwrap_or(current_target).clamp(1, resident_limit);
+        let dir = proposal.block_delta.signum();
+        if dir == 0 {
+            state.pending_dir = 0;
+            state.streak = 0;
+            state.target = Some(base);
+            return base;
+        }
+        if dir == state.pending_dir {
+            state.streak += 1;
+        } else {
+            state.pending_dir = dir;
+            state.streak = 1;
+        }
+        let mut target = base;
+        if state.streak >= hysteresis {
+            target = (base as i64 + i64::from(dir)).clamp(1, resident_limit as i64) as usize;
+            state.pending_dir = 0;
+            state.streak = 0;
+        }
+        state.target = Some(target);
+        target
+    }
+}
+
+impl Governor for Equalizer {
+    fn name(&self) -> &str {
+        match self.mode {
+            Mode::Energy => "equalizer-energy",
+            Mode::Performance => "equalizer-performance",
+        }
+    }
+
+    fn on_invocation_start(&mut self, _invocation: usize, _kernel: &KernelSpec) {
+        // Block targets persist across invocations (the Equalizer hardware
+        // keeps numBlocks until the kernel changes); only the in-flight
+        // hysteresis streak resets.
+        for s in &mut self.sms {
+            s.pending_dir = 0;
+            s.streak = 0;
+        }
+    }
+
+    fn epoch(&mut self, ctx: &EpochContext, reports: &[SmEpochReport]) -> EpochDecision {
+        debug_assert_eq!(reports.len(), self.sms.len(), "SM count mismatch");
+        let mut sm_votes: Vec<Vote> = Vec::with_capacity(reports.len());
+        let mut mem_votes: Vec<Vote> = Vec::with_capacity(reports.len());
+        let mut targets: Vec<Option<usize>> = Vec::with_capacity(reports.len());
+        let mut first_tendency = None;
+        let mut target_sum = 0usize;
+
+        for (report, state) in reports.iter().zip(self.sms.iter_mut()) {
+            let proposal = decide(&report.counters, ctx.w_cta);
+            if first_tendency.is_none() {
+                first_tendency = proposal.tendency;
+            }
+            let votes = table_i_votes(self.mode, proposal.action);
+            sm_votes.push(votes.sm);
+            mem_votes.push(votes.mem);
+
+            if self.block_control {
+                let t = Self::update_block_target(
+                    state,
+                    &proposal,
+                    report.target_blocks,
+                    ctx.resident_limit,
+                    self.hysteresis,
+                );
+                target_sum += t;
+                targets.push(Some(t));
+            } else {
+                target_sum += report.target_blocks;
+                targets.push(None);
+            }
+        }
+
+        let (sm_vf, per_sm_sm_vf, mem_vf) = if self.frequency_control {
+            if self.per_sm_vrm {
+                // Each SM steers its own regulator from its own vote; a
+                // single-ballot tally degenerates into the per-level drift
+                // logic.
+                let per_sm: Vec<VfRequest> = sm_votes
+                    .iter()
+                    .zip(reports.iter())
+                    .map(|(vote, report)| tally([*vote], report.sm_level))
+                    .collect();
+                (
+                    VfRequest::Maintain,
+                    Some(per_sm),
+                    tally(mem_votes, ctx.mem_level),
+                )
+            } else {
+                (
+                    tally(sm_votes, ctx.sm_level),
+                    None,
+                    tally(mem_votes, ctx.mem_level),
+                )
+            }
+        } else {
+            (VfRequest::Maintain, None, VfRequest::Maintain)
+        };
+
+        if self.record_trace {
+            self.trace.push(TraceEntry {
+                epoch: ctx.epoch_index,
+                invocation: ctx.invocation,
+                tendency: first_tendency,
+                mean_target: target_sum as f64 / reports.len().max(1) as f64,
+            });
+        }
+
+        EpochDecision {
+            target_blocks: targets,
+            sm_vf,
+            per_sm_sm_vf,
+            mem_vf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equalizer_sim::config::VfLevel;
+    use equalizer_sim::counters::WarpStateCounters;
+
+    fn ctx(w_cta: usize, limit: usize) -> EpochContext {
+        EpochContext {
+            w_cta,
+            resident_limit: limit,
+            sm_level: VfLevel::Nominal,
+            mem_level: VfLevel::Nominal,
+            epoch_index: 0,
+            invocation: 0,
+            now_fs: 0,
+        }
+    }
+
+    fn report(sm: usize, target: usize, counters: WarpStateCounters) -> SmEpochReport {
+        SmEpochReport {
+            sm,
+            sm_level: VfLevel::Nominal,
+            counters,
+            active_blocks: target,
+            paused_blocks: 0,
+            target_blocks: target,
+        }
+    }
+
+    fn counters_mem_heavy(w_cta: usize) -> WarpStateCounters {
+        WarpStateCounters {
+            samples: 32,
+            active: 32 * 48,
+            waiting: 32 * 20,
+            excess_mem: 32 * (w_cta as u64 + 4),
+            excess_alu: 0,
+            ..WarpStateCounters::default()
+        }
+    }
+
+    fn counters_compute_heavy(w_cta: usize) -> WarpStateCounters {
+        WarpStateCounters {
+            samples: 32,
+            active: 32 * 48,
+            waiting: 32 * 10,
+            excess_alu: 32 * (w_cta as u64 + 4),
+            excess_mem: 0,
+            ..WarpStateCounters::default()
+        }
+    }
+
+    #[test]
+    fn block_decrease_needs_three_epochs() {
+        let mut eq = Equalizer::new(Mode::Performance, 1);
+        let c = ctx(8, 6);
+        for epoch in 0..2 {
+            let d = eq.epoch(&c, &[report(0, 6, counters_mem_heavy(8))]);
+            assert_eq!(
+                d.target_blocks[0],
+                Some(6),
+                "epoch {epoch}: hysteresis must hold the target"
+            );
+        }
+        let d = eq.epoch(&c, &[report(0, 6, counters_mem_heavy(8))]);
+        assert_eq!(d.target_blocks[0], Some(5), "third epoch applies the change");
+    }
+
+    #[test]
+    fn interrupted_streak_resets() {
+        let mut eq = Equalizer::new(Mode::Performance, 1);
+        let c = ctx(8, 6);
+        eq.epoch(&c, &[report(0, 6, counters_mem_heavy(8))]);
+        eq.epoch(&c, &[report(0, 6, counters_mem_heavy(8))]);
+        // A compute epoch breaks the streak.
+        eq.epoch(&c, &[report(0, 6, counters_compute_heavy(8))]);
+        let d = eq.epoch(&c, &[report(0, 6, counters_mem_heavy(8))]);
+        assert_eq!(d.target_blocks[0], Some(6), "streak restarted");
+    }
+
+    #[test]
+    fn performance_mode_boosts_sm_for_compute() {
+        let mut eq = Equalizer::new(Mode::Performance, 3);
+        let c = ctx(8, 6);
+        let reports: Vec<_> = (0..3)
+            .map(|i| report(i, 6, counters_compute_heavy(8)))
+            .collect();
+        let d = eq.epoch(&c, &reports);
+        assert_eq!(d.sm_vf, VfRequest::Increase);
+        assert_eq!(d.mem_vf, VfRequest::Maintain);
+    }
+
+    #[test]
+    fn energy_mode_throttles_mem_for_compute() {
+        let mut eq = Equalizer::new(Mode::Energy, 3);
+        let c = ctx(8, 6);
+        let reports: Vec<_> = (0..3)
+            .map(|i| report(i, 6, counters_compute_heavy(8)))
+            .collect();
+        let d = eq.epoch(&c, &reports);
+        assert_eq!(d.sm_vf, VfRequest::Maintain);
+        assert_eq!(d.mem_vf, VfRequest::Decrease);
+    }
+
+    #[test]
+    fn energy_mode_throttles_sm_for_memory() {
+        let mut eq = Equalizer::new(Mode::Energy, 2);
+        let c = ctx(8, 6);
+        let reports: Vec<_> = (0..2).map(|i| report(i, 6, counters_mem_heavy(8))).collect();
+        let d = eq.epoch(&c, &reports);
+        assert_eq!(d.sm_vf, VfRequest::Decrease);
+        assert_eq!(d.mem_vf, VfRequest::Maintain);
+    }
+
+    #[test]
+    fn majority_vote_across_sms() {
+        let mut eq = Equalizer::new(Mode::Performance, 3);
+        let c = ctx(8, 6);
+        let reports = vec![
+            report(0, 6, counters_compute_heavy(8)),
+            report(1, 6, counters_compute_heavy(8)),
+            report(2, 6, counters_mem_heavy(8)),
+        ];
+        let d = eq.epoch(&c, &reports);
+        assert_eq!(d.sm_vf, VfRequest::Increase, "2 of 3 SMs are compute-heavy");
+    }
+
+    #[test]
+    fn frequency_control_can_be_disabled() {
+        let mut eq = Equalizer::new(Mode::Performance, 1).with_frequency_control(false);
+        let c = ctx(8, 6);
+        let d = eq.epoch(&c, &[report(0, 6, counters_compute_heavy(8))]);
+        assert_eq!(d.sm_vf, VfRequest::Maintain);
+        assert_eq!(d.mem_vf, VfRequest::Maintain);
+    }
+
+    #[test]
+    fn block_control_can_be_disabled() {
+        let mut eq = Equalizer::new(Mode::Performance, 1).with_block_control(false);
+        let c = ctx(8, 6);
+        for _ in 0..5 {
+            let d = eq.epoch(&c, &[report(0, 6, counters_mem_heavy(8))]);
+            assert_eq!(d.target_blocks[0], None);
+        }
+    }
+
+    #[test]
+    fn target_never_leaves_bounds() {
+        let mut eq = Equalizer::new(Mode::Performance, 1).with_hysteresis(1);
+        let c = ctx(8, 3);
+        let mut current = 3;
+        for _ in 0..10 {
+            let d = eq.epoch(&c, &[report(0, current, counters_mem_heavy(8))]);
+            current = d.target_blocks[0].unwrap();
+            assert!((1..=3).contains(&current));
+        }
+        assert_eq!(current, 1, "repeated memory pressure bottoms out at 1");
+    }
+
+    #[test]
+    fn targets_persist_across_invocations() {
+        let mut eq = Equalizer::new(Mode::Performance, 1).with_hysteresis(1);
+        let c = ctx(8, 6);
+        let d = eq.epoch(&c, &[report(0, 6, counters_mem_heavy(8))]);
+        assert_eq!(d.target_blocks[0], Some(5));
+        // New invocation: the simulator resets the SM to 6 blocks, but
+        // Equalizer re-asserts its remembered target.
+        let kernel_dummy = equalizer_sim::kernel::KernelSpec::new(
+            "dummy",
+            equalizer_sim::kernel::KernelCategory::Compute,
+            8,
+            6,
+            vec![equalizer_sim::kernel::Invocation {
+                grid_blocks: 1,
+                program: std::sync::Arc::new(equalizer_sim::program::Program::new(vec![
+                    equalizer_sim::program::Segment::new(
+                        vec![equalizer_sim::program::Instr::alu()],
+                        1,
+                    ),
+                ])),
+            }],
+        );
+        eq.on_invocation_start(1, &kernel_dummy);
+        let d = eq.epoch(&c, &[report(0, 6, counters_compute_heavy(8))]);
+        assert_eq!(d.target_blocks[0], Some(5), "remembered target re-applied");
+    }
+
+    #[test]
+    fn trace_records_decisions() {
+        let mut eq = Equalizer::new(Mode::Performance, 1).with_trace();
+        let c = ctx(8, 6);
+        eq.epoch(&c, &[report(0, 6, counters_mem_heavy(8))]);
+        assert_eq!(eq.trace().len(), 1);
+        assert_eq!(eq.trace()[0].tendency, Some(Tendency::HeavyMemory));
+    }
+}

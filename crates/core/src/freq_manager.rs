@@ -1,0 +1,110 @@
+//! The global frequency manager (§IV-C).
+//!
+//! Every epoch each SM submits a per-domain vote. The frequency manager
+//! takes a majority (plurality) vote per domain and moves that domain by
+//! at most one VF step; a winning `Drift` vote walks the domain back
+//! toward nominal. Transitions are applied by the simulator after the
+//! voltage-regulator delay (512 SM cycles in the paper).
+
+use equalizer_sim::config::VfLevel;
+use equalizer_sim::governor::VfRequest;
+
+use crate::mode::Vote;
+
+/// Tallies one domain's votes and produces the per-step request.
+///
+/// Plurality wins; ties are resolved conservatively in the order
+/// `Drift > Down > Up` (prefer doing nothing, then saving energy).
+pub fn tally(votes: impl IntoIterator<Item = Vote>, current: VfLevel) -> VfRequest {
+    let mut up = 0usize;
+    let mut down = 0usize;
+    let mut drift = 0usize;
+    for v in votes {
+        match v {
+            Vote::Up => up += 1,
+            Vote::Down => down += 1,
+            Vote::Drift => drift += 1,
+        }
+    }
+    let winner = if drift >= up && drift >= down {
+        Vote::Drift
+    } else if down >= up {
+        Vote::Down
+    } else {
+        Vote::Up
+    };
+    to_request(winner, current)
+}
+
+/// Converts a winning vote into a one-step request given the current
+/// level. `Drift` steps toward nominal, `Up`/`Down` step outward (the
+/// simulator saturates at the extreme levels).
+fn to_request(winner: Vote, current: VfLevel) -> VfRequest {
+    match winner {
+        Vote::Up => {
+            if current == VfLevel::High {
+                VfRequest::Maintain
+            } else {
+                VfRequest::Increase
+            }
+        }
+        Vote::Down => {
+            if current == VfLevel::Low {
+                VfRequest::Maintain
+            } else {
+                VfRequest::Decrease
+            }
+        }
+        Vote::Drift => match current {
+            VfLevel::Low => VfRequest::Increase,
+            VfLevel::Nominal => VfRequest::Maintain,
+            VfLevel::High => VfRequest::Decrease,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_up_steps_up() {
+        let r = tally(vec![Vote::Up; 15], VfLevel::Nominal);
+        assert_eq!(r, VfRequest::Increase);
+    }
+
+    #[test]
+    fn majority_down_beats_minority_up() {
+        let votes = [vec![Vote::Down; 9], vec![Vote::Up; 6]].concat();
+        assert_eq!(tally(votes, VfLevel::Nominal), VfRequest::Decrease);
+    }
+
+    #[test]
+    fn drift_plurality_returns_toward_nominal() {
+        let votes = [vec![Vote::Drift; 8], vec![Vote::Up; 7]].concat();
+        assert_eq!(tally(votes.clone(), VfLevel::High), VfRequest::Decrease);
+        assert_eq!(tally(votes.clone(), VfLevel::Low), VfRequest::Increase);
+        assert_eq!(tally(votes, VfLevel::Nominal), VfRequest::Maintain);
+    }
+
+    #[test]
+    fn saturated_levels_hold() {
+        assert_eq!(tally(vec![Vote::Up; 4], VfLevel::High), VfRequest::Maintain);
+        assert_eq!(tally(vec![Vote::Down; 4], VfLevel::Low), VfRequest::Maintain);
+    }
+
+    #[test]
+    fn ties_prefer_drift_then_down() {
+        // Drift ties Up: Drift wins.
+        let votes = [vec![Vote::Drift; 5], vec![Vote::Up; 5]].concat();
+        assert_eq!(tally(votes, VfLevel::Nominal), VfRequest::Maintain);
+        // Down ties Up (no drift): Down wins.
+        let votes = [vec![Vote::Down; 5], vec![Vote::Up; 5]].concat();
+        assert_eq!(tally(votes, VfLevel::Nominal), VfRequest::Decrease);
+    }
+
+    #[test]
+    fn empty_votes_maintain() {
+        assert_eq!(tally(std::iter::empty(), VfLevel::Nominal), VfRequest::Maintain);
+    }
+}

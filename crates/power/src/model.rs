@@ -1,0 +1,248 @@
+//! The energy model proper: converts a simulator [`RunStats`] into an
+//! [`EnergyBreakdown`].
+//!
+//! DVFS scaling rules (matching §V-A1 of the paper):
+//!
+//! * Voltage scales linearly with frequency (`v = 1 ± 0.15`).
+//! * Per-event dynamic energy scales with `v²` (the event count already
+//!   captures the frequency).
+//! * Background/clock dynamic *power* scales with `f·V² = v³`; it is
+//!   integrated over the wall time spent at each level.
+//! * Leakage power scales with `V` and is integrated over wall time
+//!   (leakage lives on the SM/core voltage rail).
+//! * DRAM active-standby power is a per-level table integrated over wall
+//!   time (the Hynix IDD2N behaviour the paper exploits).
+
+use equalizer_sim::config::{VfLevel, FS_PER_SEC};
+use equalizer_sim::stats::RunStats;
+
+use crate::params::PowerParams;
+
+/// Energy consumed by a run, by component (joules).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Leakage energy (V-scaled, integrated over wall time).
+    pub leakage_j: f64,
+    /// SM dynamic event energy (issue + ALU + L1).
+    pub sm_dynamic_j: f64,
+    /// SM-domain background/clock energy.
+    pub sm_clock_j: f64,
+    /// L2 + DRAM access energy.
+    pub mem_dynamic_j: f64,
+    /// Memory-domain background/clock energy.
+    pub mem_clock_j: f64,
+    /// DRAM active-standby energy.
+    pub dram_standby_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.leakage_j
+            + self.sm_dynamic_j
+            + self.sm_clock_j
+            + self.mem_dynamic_j
+            + self.mem_clock_j
+            + self.dram_standby_j
+    }
+
+    /// Energy attributable to the memory system (dynamic + clock +
+    /// standby).
+    pub fn memory_system_j(&self) -> f64 {
+        self.mem_dynamic_j + self.mem_clock_j + self.dram_standby_j
+    }
+}
+
+/// The GPU energy model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PowerModel {
+    params: PowerParams,
+}
+
+impl PowerModel {
+    /// Creates a model with the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error message for non-physical parameters.
+    pub fn new(params: PowerParams) -> Result<Self, String> {
+        params.validate()?;
+        Ok(Self { params })
+    }
+
+    /// The GTX 480-calibrated model used throughout the reproduction.
+    pub fn gtx480() -> Self {
+        Self {
+            params: PowerParams::gtx480(),
+        }
+    }
+
+    /// The model's parameters.
+    pub fn params(&self) -> &PowerParams {
+        &self.params
+    }
+
+    /// Computes the energy consumed by a simulated run.
+    pub fn energy(&self, stats: &RunStats) -> EnergyBreakdown {
+        let p = &self.params;
+        let mut out = EnergyBreakdown::default();
+
+        for level in VfLevel::ALL {
+            let i = level.index();
+            let v = level.factor(p.vf_step);
+            let v2 = v * v;
+            let v3 = v2 * v;
+
+            // --- SM domain ---
+            let ev = &stats.sm_events[i];
+            out.sm_dynamic_j += (ev.issued as f64 * p.e_issue_j
+                + ev.alu_ops as f64 * p.e_alu_j
+                + ev.l1_accesses as f64 * p.e_l1_j)
+                * v2;
+            let sm_t = stats.sm_time_at[i] as f64 / FS_PER_SEC;
+            out.sm_clock_j += p.sm_clock_w * v3 * sm_t;
+            out.leakage_j += p.leakage_w * v * sm_t;
+
+            // --- Memory domain ---
+            let me = &stats.mem_events[i];
+            out.mem_dynamic_j += (me.l2_accesses as f64 * p.e_l2_j
+                + me.dram_accesses as f64 * p.e_dram_j)
+                * v2;
+            let mem_t = stats.mem_time_at[i] as f64 / FS_PER_SEC;
+            out.mem_clock_j += p.mem_clock_w * v3 * mem_t;
+            out.dram_standby_j += p.dram_standby_w[i] * mem_t;
+        }
+        out
+    }
+
+    /// Average power over the run, in watts.
+    pub fn average_power_w(&self, stats: &RunStats) -> f64 {
+        let t = stats.time_seconds();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.energy(stats).total_j() / t
+        }
+    }
+}
+
+/// Energy efficiency of `run` relative to `baseline`, as the paper defines
+/// it: `E_baseline / E_run` (higher is better, 1.0 at parity).
+pub fn energy_efficiency(
+    model: &PowerModel,
+    baseline: &RunStats,
+    run: &RunStats,
+) -> f64 {
+    let eb = model.energy(baseline).total_j();
+    let er = model.energy(run).total_j();
+    if er <= 0.0 {
+        0.0
+    } else {
+        eb / er
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equalizer_sim::memsys::MemLevelStats;
+    use equalizer_sim::sm::SmLevelEvents;
+
+    /// A synthetic one-second nominal-level run.
+    fn synthetic_run(instr_per_s: u64, dram_lines: u64) -> RunStats {
+        let mut s = RunStats {
+            wall_time_fs: FS_PER_SEC as u64,
+            num_sms: 15,
+            ..RunStats::default()
+        };
+        s.sm_time_at[1] = FS_PER_SEC as u64;
+        s.mem_time_at[1] = FS_PER_SEC as u64;
+        s.sm_events[1] = SmLevelEvents {
+            issued: instr_per_s,
+            alu_ops: instr_per_s * 8 / 10,
+            mem_instrs: instr_per_s / 10,
+            l1_accesses: instr_per_s / 10,
+            l1_hits: instr_per_s / 20,
+            busy_cycles: 0,
+        };
+        s.mem_events[1] = MemLevelStats {
+            l2_accesses: dram_lines * 2,
+            l2_hits: dram_lines,
+            dram_accesses: dram_lines,
+            ..MemLevelStats::default()
+        };
+        s
+    }
+
+    #[test]
+    fn baseline_power_is_gpu_class() {
+        // A busy compute kernel: 42 G instr/s, modest memory traffic.
+        let run = synthetic_run(42_000_000_000, 100_000_000);
+        let model = PowerModel::gtx480();
+        let w = model.average_power_w(&run);
+        assert!(
+            (80.0..220.0).contains(&w),
+            "baseline power should be GPU-class, got {w:.1} W"
+        );
+    }
+
+    #[test]
+    fn leakage_matches_configuration() {
+        let run = synthetic_run(0, 0);
+        let model = PowerModel::gtx480();
+        let e = model.energy(&run);
+        assert!((e.leakage_j - 41.9).abs() < 1e-9, "1 s at nominal => 41.9 J");
+    }
+
+    #[test]
+    fn memory_bound_run_is_dram_heavy() {
+        // Full bandwidth: ~1.4 G lines/s.
+        let run = synthetic_run(4_000_000_000, 1_400_000_000);
+        let e = PowerModel::gtx480().energy(&run);
+        assert!(e.mem_dynamic_j > e.sm_dynamic_j);
+    }
+
+    #[test]
+    fn high_level_events_cost_more_energy() {
+        let mut lo = synthetic_run(10_000_000_000, 0);
+        let mut hi = lo.clone();
+        // Move all events+time from nominal to the respective extreme.
+        lo.sm_events.swap(1, 0);
+        lo.sm_time_at.swap(1, 0);
+        lo.mem_time_at.swap(1, 0);
+        hi.sm_events.swap(1, 2);
+        hi.sm_time_at.swap(1, 2);
+        hi.mem_time_at.swap(1, 2);
+        let m = PowerModel::gtx480();
+        assert!(m.energy(&hi).total_j() > m.energy(&lo).total_j());
+    }
+
+    #[test]
+    fn efficiency_is_relative_to_baseline() {
+        let base = synthetic_run(20_000_000_000, 200_000_000);
+        let cheap = synthetic_run(10_000_000_000, 100_000_000);
+        let m = PowerModel::gtx480();
+        assert!(energy_efficiency(&m, &base, &cheap) > 1.0);
+        assert!((energy_efficiency(&m, &base, &base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_params() {
+        let mut p = PowerParams::gtx480();
+        p.leakage_w = -1.0;
+        assert!(PowerModel::new(p).is_err());
+    }
+
+    #[test]
+    fn total_is_sum_of_components() {
+        let run = synthetic_run(30_000_000_000, 500_000_000);
+        let e = PowerModel::gtx480().energy(&run);
+        let sum = e.leakage_j
+            + e.sm_dynamic_j
+            + e.sm_clock_j
+            + e.mem_dynamic_j
+            + e.mem_clock_j
+            + e.dram_standby_j;
+        assert!((e.total_j() - sum).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,126 @@
+//! Calibrated energy parameters.
+//!
+//! The defaults are calibrated the way GPUWattch calibrates McPAT: to
+//! first-order agreement with a Fermi-class GPU (GTX 480). The paper's own
+//! anchors are kept verbatim where it states them — 41.9 W of leakage
+//! (§V-A1, from the GPUWattch paper), ±15 % VF steps with voltage linear
+//! in frequency, and a GDDR5 active-standby current that falls with the
+//! memory operating point (Hynix datasheet).
+
+/// Energy/power parameters of the GPU.
+///
+/// Event energies are *per event at nominal voltage* and scale with V²;
+/// clock-tree powers scale with f·V² (= v³ under linear V-f scaling);
+/// leakage scales with V.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// Total GPU leakage power at nominal voltage, in watts (the paper
+    /// assumes 41.9 W).
+    pub leakage_w: f64,
+    /// Energy per issued instruction (fetch/decode/operand collect/
+    /// register file), in joules.
+    pub e_issue_j: f64,
+    /// Additional energy per arithmetic operation, in joules.
+    pub e_alu_j: f64,
+    /// Energy per L1 data-cache access, in joules.
+    pub e_l1_j: f64,
+    /// SM-domain clock-tree + pipeline background dynamic power for the
+    /// whole GPU at nominal VF, in watts.
+    pub sm_clock_w: f64,
+    /// Energy per L2 access, in joules.
+    pub e_l2_j: f64,
+    /// Energy per DRAM line transfer (128 B), in joules.
+    pub e_dram_j: f64,
+    /// Memory-domain (NoC + L2 + MC) background dynamic power at nominal
+    /// VF, in watts.
+    pub mem_clock_w: f64,
+    /// DRAM active-standby power at each memory VF level
+    /// `[low, nominal, high]`, in watts. Modelled from the Hynix GDDR5
+    /// IDD2N spread the paper cites (standby current ~30 % higher at the
+    /// top operating point than mid-range).
+    pub dram_standby_w: [f64; 3],
+    /// Fractional VF step (0.15 in the paper).
+    pub vf_step: f64,
+}
+
+impl PowerParams {
+    /// GTX 480-class calibration used throughout the reproduction.
+    pub fn gtx480() -> Self {
+        Self {
+            leakage_w: 41.9,
+            e_issue_j: 0.70e-9,
+            e_alu_j: 0.20e-9,
+            e_l1_j: 0.40e-9,
+            sm_clock_w: 12.0,
+            e_l2_j: 2.0e-9,
+            e_dram_j: 20.0e-9,
+            mem_clock_w: 10.0,
+            dram_standby_w: [7.5, 10.0, 12.5],
+            vf_step: 0.15,
+        }
+    }
+
+    /// Validates that all parameters are physically sensible.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first non-positive parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        let checks = [
+            (self.leakage_w, "leakage_w"),
+            (self.e_issue_j, "e_issue_j"),
+            (self.e_alu_j, "e_alu_j"),
+            (self.e_l1_j, "e_l1_j"),
+            (self.sm_clock_w, "sm_clock_w"),
+            (self.e_l2_j, "e_l2_j"),
+            (self.e_dram_j, "e_dram_j"),
+            (self.mem_clock_w, "mem_clock_w"),
+            (self.vf_step, "vf_step"),
+        ];
+        for (v, name) in checks {
+            if v <= 0.0 || !v.is_finite() {
+                return Err(format!("{name} must be positive and finite"));
+            }
+        }
+        for (i, v) in self.dram_standby_w.iter().enumerate() {
+            if *v <= 0.0 || !v.is_finite() {
+                return Err(format!("dram_standby_w[{i}] must be positive and finite"));
+            }
+        }
+        if self.dram_standby_w[0] > self.dram_standby_w[2] {
+            return Err("DRAM standby power must not decrease with frequency".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        Self::gtx480()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_validate() {
+        PowerParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn leakage_matches_paper() {
+        assert!((PowerParams::gtx480().leakage_w - 41.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let mut p = PowerParams::gtx480();
+        p.e_dram_j = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = PowerParams::gtx480();
+        p.dram_standby_w = [12.0, 10.0, 7.0];
+        assert!(p.validate().is_err());
+    }
+}

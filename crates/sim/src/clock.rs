@@ -1,0 +1,179 @@
+//! Clock-domain bookkeeping for the two independent VF domains.
+//!
+//! The GPU has two domains: the SM domain and the memory-system domain
+//! (interconnect + L2 + memory controller + DRAM). Global simulated time is
+//! kept in femtoseconds; each domain advances by its own period, which
+//! changes when the runtime retunes its VF level. VF transitions take
+//! effect after a configurable voltage-regulator delay.
+
+use crate::config::{ClockConfig, Femtos, VfLevel};
+
+/// One clock domain with a retunable VF level.
+#[derive(Debug, Clone)]
+pub struct DomainClock {
+    config: ClockConfig,
+    level: VfLevel,
+    /// Absolute time of the next tick.
+    next_tick: Femtos,
+    /// Total cycles elapsed, across all levels.
+    cycles: u64,
+    /// Cycles elapsed at each VF level (indexed by [`VfLevel::index`]).
+    cycles_at: [u64; 3],
+    /// Wall time spent at each VF level.
+    time_at: [Femtos; 3],
+    /// Time of the last accounting checkpoint for `time_at`.
+    last_account: Femtos,
+    /// A pending level change and the absolute time at which it applies.
+    pending: Option<(VfLevel, Femtos)>,
+}
+
+impl DomainClock {
+    /// Creates a clock starting at time zero with the given initial level.
+    pub fn new(config: ClockConfig, initial: VfLevel) -> Self {
+        let period = config.period_fs(initial);
+        Self {
+            config,
+            level: initial,
+            next_tick: period,
+            cycles: 0,
+            cycles_at: [0; 3],
+            time_at: [0; 3],
+            last_account: 0,
+            pending: None,
+        }
+    }
+
+    /// The current VF level.
+    pub fn level(&self) -> VfLevel {
+        self.level
+    }
+
+    /// The absolute time of this domain's next tick.
+    pub fn next_tick(&self) -> Femtos {
+        self.next_tick
+    }
+
+    /// Total elapsed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Cycles elapsed at each VF level.
+    pub fn cycles_at(&self) -> [u64; 3] {
+        self.cycles_at
+    }
+
+    /// Wall time spent at each VF level (up to the last tick).
+    pub fn time_at(&self) -> [Femtos; 3] {
+        self.time_at
+    }
+
+    /// Current period in femtoseconds.
+    pub fn period_fs(&self) -> Femtos {
+        self.config.period_fs(self.level)
+    }
+
+    /// Converts a number of cycles at the current level to femtoseconds.
+    pub fn cycles_to_fs(&self, cycles: u64) -> Femtos {
+        cycles * self.period_fs()
+    }
+
+    /// Requests a transition to `target`, applying at `apply_at`.
+    ///
+    /// A later request supersedes any pending one. Requesting the current
+    /// level cancels a pending transition.
+    pub fn request_level(&mut self, target: VfLevel, apply_at: Femtos) {
+        if target == self.level {
+            self.pending = None;
+        } else {
+            self.pending = Some((target, apply_at));
+        }
+    }
+
+    /// Advances the domain by one cycle and returns the tick's completion
+    /// time. Applies any pending VF transition whose time has come.
+    pub fn tick(&mut self) -> Femtos {
+        let now = self.next_tick;
+        self.cycles += 1;
+        self.cycles_at[self.level.index()] += 1;
+        self.time_at[self.level.index()] += now - self.last_account;
+        self.last_account = now;
+
+        if let Some((target, apply_at)) = self.pending {
+            if now >= apply_at {
+                self.level = target;
+                self.pending = None;
+            }
+        }
+        self.next_tick = now + self.config.period_fs(self.level);
+        now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clk() -> DomainClock {
+        DomainClock::new(
+            ClockConfig {
+                nominal_mhz: 1000.0,
+                step: 0.15,
+            },
+            VfLevel::Nominal,
+        )
+    }
+
+    #[test]
+    fn ticks_advance_by_period() {
+        let mut c = clk();
+        assert_eq!(c.tick(), 1_000_000);
+        assert_eq!(c.tick(), 2_000_000);
+        assert_eq!(c.cycles(), 2);
+    }
+
+    #[test]
+    fn level_change_applies_after_delay() {
+        let mut c = clk();
+        c.request_level(VfLevel::High, 2_500_000);
+        c.tick(); // t=1e6, still nominal
+        c.tick(); // t=2e6, still nominal
+        assert_eq!(c.level(), VfLevel::Nominal);
+        c.tick(); // t=3e6 >= 2.5e6 -> applies
+        assert_eq!(c.level(), VfLevel::High);
+        // next period is the high-level period (1e6/1.15 ~ 869565)
+        let t3 = c.next_tick();
+        assert!(t3 < 3_000_000 + 1_000_000);
+    }
+
+    #[test]
+    fn requesting_current_level_cancels_pending() {
+        let mut c = clk();
+        c.request_level(VfLevel::High, 0);
+        c.request_level(VfLevel::Nominal, 0);
+        c.tick();
+        assert_eq!(c.level(), VfLevel::Nominal);
+    }
+
+    #[test]
+    fn per_level_accounting_sums_to_total() {
+        let mut c = clk();
+        c.request_level(VfLevel::Low, 3_000_000);
+        for _ in 0..10 {
+            c.tick();
+        }
+        let total: u64 = c.cycles_at().iter().sum();
+        assert_eq!(total, c.cycles());
+        assert!(c.cycles_at()[VfLevel::Low.index()] > 0);
+        assert!(c.cycles_at()[VfLevel::Nominal.index()] > 0);
+    }
+
+    #[test]
+    fn time_accounting_tracks_levels() {
+        let mut c = clk();
+        for _ in 0..5 {
+            c.tick();
+        }
+        assert_eq!(c.time_at()[VfLevel::Nominal.index()], 5_000_000);
+    }
+}

@@ -1,0 +1,192 @@
+//! The hook through which a runtime system steers the simulated hardware.
+//!
+//! Once per epoch (4096 SM cycles in the paper) the simulator hands the
+//! governor every SM's accumulated warp-state counters and receives back
+//! per-SM concurrency targets plus one voltage/frequency request per clock
+//! domain. The Equalizer runtime (`equalizer-core`) and the baselines
+//! (`equalizer-baselines`) implement this trait.
+
+use crate::config::{Femtos, VfLevel};
+use crate::counters::WarpStateCounters;
+use crate::kernel::KernelSpec;
+
+/// A per-domain frequency request, as submitted to the frequency manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VfRequest {
+    /// Step the domain's VF level down.
+    Decrease,
+    /// Leave the domain alone.
+    #[default]
+    Maintain,
+    /// Step the domain's VF level up.
+    Increase,
+}
+
+/// What one SM reports at an epoch boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct SmEpochReport {
+    /// SM index.
+    pub sm: usize,
+    /// The SM's current VF level (all SMs agree unless
+    /// [`crate::config::GpuConfig::per_sm_vrm`] is enabled).
+    pub sm_level: crate::config::VfLevel,
+    /// Warp-state counters accumulated over the epoch.
+    pub counters: WarpStateCounters,
+    /// Unpaused resident blocks at the epoch boundary.
+    pub active_blocks: usize,
+    /// Paused resident blocks at the epoch boundary.
+    pub paused_blocks: usize,
+    /// The SM's current concurrency target.
+    pub target_blocks: usize,
+}
+
+/// Run-wide context shared by all SMs at an epoch boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochContext {
+    /// Warps per block of the running kernel (`W_cta`).
+    pub w_cta: usize,
+    /// Hardware/occupancy limit on resident blocks per SM.
+    pub resident_limit: usize,
+    /// Current SM-domain VF level.
+    pub sm_level: VfLevel,
+    /// Current memory-domain VF level.
+    pub mem_level: VfLevel,
+    /// Monotonic epoch index within the run.
+    pub epoch_index: u64,
+    /// Invocation index within the kernel.
+    pub invocation: usize,
+    /// Absolute simulated time at the epoch boundary.
+    pub now_fs: Femtos,
+}
+
+/// The governor's verdict for the coming epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EpochDecision {
+    /// New per-SM concurrency targets; `None` leaves an SM unchanged.
+    pub target_blocks: Vec<Option<usize>>,
+    /// SM-domain frequency request (used when the SM domain shares one
+    /// VRM, or as the fallback when `per_sm_sm_vf` is absent).
+    pub sm_vf: VfRequest,
+    /// Per-SM frequency requests, honoured only when the hardware has
+    /// per-SM VRMs ([`crate::config::GpuConfig::per_sm_vrm`]).
+    pub per_sm_sm_vf: Option<Vec<VfRequest>>,
+    /// Memory-domain frequency request.
+    pub mem_vf: VfRequest,
+}
+
+impl EpochDecision {
+    /// A decision that changes nothing.
+    pub fn maintain(num_sms: usize) -> Self {
+        Self {
+            target_blocks: vec![None; num_sms],
+            sm_vf: VfRequest::Maintain,
+            per_sm_sm_vf: None,
+            mem_vf: VfRequest::Maintain,
+        }
+    }
+}
+
+/// A runtime system controlling concurrency and the two VF domains.
+pub trait Governor {
+    /// Display name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Called at the start of each kernel invocation.
+    fn on_invocation_start(&mut self, _invocation: usize, _kernel: &KernelSpec) {}
+
+    /// Called once per epoch with all SM reports; returns the actions to
+    /// apply for the next epoch.
+    fn epoch(&mut self, ctx: &EpochContext, reports: &[SmEpochReport]) -> EpochDecision;
+}
+
+/// The do-nothing governor: static hardware, as configured.
+///
+/// Combined with [`crate::config::GpuConfig::with_static_levels`] this
+/// produces the paper's baseline and static-VF operating points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticGovernor;
+
+impl Governor for StaticGovernor {
+    fn name(&self) -> &str {
+        "static"
+    }
+
+    fn epoch(&mut self, _ctx: &EpochContext, reports: &[SmEpochReport]) -> EpochDecision {
+        EpochDecision::maintain(reports.len())
+    }
+}
+
+/// A governor that pins every SM to a fixed number of concurrent blocks
+/// (used for the thread-sweep experiments of Figures 1e, 2a and 5).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedBlocksGovernor {
+    blocks: usize,
+}
+
+impl FixedBlocksGovernor {
+    /// Creates a governor that holds every SM at `blocks` active blocks.
+    pub fn new(blocks: usize) -> Self {
+        Self {
+            blocks: blocks.max(1),
+        }
+    }
+}
+
+impl Governor for FixedBlocksGovernor {
+    fn name(&self) -> &str {
+        "fixed-blocks"
+    }
+
+    fn epoch(&mut self, _ctx: &EpochContext, reports: &[SmEpochReport]) -> EpochDecision {
+        EpochDecision {
+            target_blocks: reports.iter().map(|_| Some(self.blocks)).collect(),
+            ..EpochDecision::maintain(reports.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maintain_decision_is_inert() {
+        let d = EpochDecision::maintain(4);
+        assert_eq!(d.target_blocks, vec![None; 4]);
+        assert_eq!(d.sm_vf, VfRequest::Maintain);
+        assert_eq!(d.mem_vf, VfRequest::Maintain);
+    }
+
+    #[test]
+    fn fixed_blocks_targets_every_sm() {
+        let mut g = FixedBlocksGovernor::new(2);
+        let ctx = EpochContext {
+            w_cta: 8,
+            resident_limit: 6,
+            sm_level: VfLevel::Nominal,
+            mem_level: VfLevel::Nominal,
+            epoch_index: 0,
+            invocation: 0,
+            now_fs: 0,
+        };
+        let reports = vec![
+            SmEpochReport {
+                sm: 0,
+                sm_level: VfLevel::Nominal,
+                counters: WarpStateCounters::default(),
+                active_blocks: 6,
+                paused_blocks: 0,
+                target_blocks: 6,
+            };
+            3
+        ];
+        let d = g.epoch(&ctx, &reports);
+        assert_eq!(d.target_blocks, vec![Some(2); 3]);
+    }
+
+    #[test]
+    fn fixed_blocks_clamps_zero() {
+        let g = FixedBlocksGovernor::new(0);
+        assert_eq!(g.blocks, 1);
+    }
+}

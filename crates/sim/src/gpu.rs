@@ -1,0 +1,527 @@
+//! The top-level GPU: clock domains, SMs, memory system and the epoch
+//! loop that drives a [`Governor`].
+
+use std::error::Error;
+use std::fmt;
+
+use crate::clock::DomainClock;
+use crate::config::{Femtos, GpuConfig, VfLevel};
+use crate::counters::WarpStateCounters;
+use crate::governor::{EpochContext, EpochDecision, Governor, SmEpochReport, VfRequest};
+use crate::gwde::Gwde;
+use crate::kernel::KernelSpec;
+use crate::memsys::MemSystem;
+use crate::sm::Sm;
+use crate::stats::{EpochRecord, InvocationStats, RunStats};
+
+/// Errors produced by [`simulate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The GPU configuration failed validation.
+    InvalidConfig(String),
+    /// An invocation exceeded the cycle budget (likely a deadlock or a
+    /// pathologically slow configuration).
+    CycleLimit {
+        /// Kernel name.
+        kernel: String,
+        /// Invocation index that overran.
+        invocation: usize,
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid GPU configuration: {msg}"),
+            SimError::CycleLimit {
+                kernel,
+                invocation,
+                limit,
+            } => write!(
+                f,
+                "kernel {kernel} invocation {invocation} exceeded {limit} SM cycles"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Knobs for a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Abort an invocation after this many SM cycles.
+    pub max_cycles_per_invocation: u64,
+    /// Record the per-epoch timeline in [`RunStats::epochs`].
+    pub record_epochs: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            max_cycles_per_invocation: 80_000_000,
+            record_epochs: true,
+        }
+    }
+}
+
+/// Runs `kernel` to completion under `governor` with default options.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for an inconsistent configuration
+/// and [`SimError::CycleLimit`] if an invocation fails to complete within
+/// the cycle budget.
+///
+/// # Examples
+///
+/// ```
+/// # use equalizer_sim::prelude::*;
+/// # use std::sync::Arc;
+/// let config = GpuConfig::gtx480();
+/// let program = Arc::new(Program::new(vec![Segment::new(vec![Instr::alu()], 8)]));
+/// let kernel = KernelSpec::new(
+///     "demo",
+///     KernelCategory::Compute,
+///     4,
+///     8,
+///     vec![Invocation { grid_blocks: 30, program }],
+/// );
+/// let stats = simulate(&config, &kernel, &mut StaticGovernor)?;
+/// assert!(stats.instructions() > 0);
+/// # Ok::<(), equalizer_sim::gpu::SimError>(())
+/// ```
+pub fn simulate(
+    config: &GpuConfig,
+    kernel: &KernelSpec,
+    governor: &mut dyn Governor,
+) -> Result<RunStats, SimError> {
+    simulate_with(config, kernel, governor, SimOptions::default())
+}
+
+/// Runs `kernel` under `governor` with explicit [`SimOptions`].
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_with(
+    config: &GpuConfig,
+    kernel: &KernelSpec,
+    governor: &mut dyn Governor,
+    options: SimOptions,
+) -> Result<RunStats, SimError> {
+    config.validate().map_err(SimError::InvalidConfig)?;
+
+    // One SM clock shared by all SMs, or one clock per SM when the
+    // hardware has per-SM voltage regulators (§V-A1 of the paper).
+    let clock_count = if config.per_sm_vrm { config.num_sms } else { 1 };
+    let mut sm_clocks: Vec<DomainClock> = (0..clock_count)
+        .map(|_| DomainClock::new(config.sm_clock, config.initial_sm_level))
+        .collect();
+    let clock_of = |sm: usize| if config.per_sm_vrm { sm } else { 0 };
+    let mut mem_clock = DomainClock::new(config.mem_clock, config.initial_mem_level);
+    let mut sms: Vec<Sm> = (0..config.num_sms).map(|i| Sm::new(i, config)).collect();
+    let mut mem = MemSystem::new(config);
+
+    // With per-SM VRMs the SM clocks drift apart, so epochs are delimited
+    // in wall time (the paper's 4096 cycles at the nominal frequency).
+    let nominal_sm_period = config.sm_clock.period_fs(crate::config::VfLevel::Nominal);
+    let epoch_span_fs = config.epoch_cycles * nominal_sm_period;
+
+    let mut epochs: Vec<EpochRecord> = Vec::new();
+    let mut invocations: Vec<InvocationStats> = Vec::new();
+    let mut epoch_index = 0u64;
+    let mut last_epoch_cycle = 0u64;
+    let mut next_epoch_fs: Femtos = epoch_span_fs;
+    let mut sm_steps = 0u64;
+    let mut now: Femtos = 0;
+
+    for (inv_idx, invocation) in kernel.invocations().iter().enumerate() {
+        let inv_start_cycles = sm_clocks.iter().map(DomainClock::cycles).max().unwrap_or(0);
+        let inv_start_fs = now;
+        let mut gwde = Gwde::new(invocation.grid_blocks);
+        mem.flush_l2();
+        for sm in &mut sms {
+            sm.begin_invocation(kernel, inv_idx, invocation.program.clone());
+            sm.fill(&mut gwde);
+        }
+        governor.on_invocation_start(inv_idx, kernel);
+
+        loop {
+            // Advance the domain with the earliest next tick; ties go to
+            // the memory system so responses are in place before SMs
+            // consume them.
+            let min_sm_tick = sm_clocks
+                .iter()
+                .map(DomainClock::next_tick)
+                .min()
+                .expect("at least one SM clock");
+            if mem_clock.next_tick() <= min_sm_tick {
+                let t = mem_clock.tick();
+                now = now.max(t);
+                let level = mem_clock.level();
+                let period = mem_clock.period_fs();
+                mem.step(t, level, period);
+                continue;
+            }
+
+            let t = min_sm_tick;
+            now = now.max(t);
+            sm_steps += 1;
+            // Rotate the service order so no SM gets standing priority for
+            // the shared interconnect queue (a fixed order starves high-id
+            // SMs under back-pressure and creates artificial stragglers).
+            // The start is hashed, not sequential: a sequential rotation
+            // beats against the SM:memory clock ratio and still favours a
+            // subset of SMs for long stretches.
+            let n = sms.len();
+            let start = (crate::util::mix64(sm_steps) as usize) % n;
+            if config.per_sm_vrm {
+                for off in 0..n {
+                    let i = (start + off) % n;
+                    if sm_clocks[i].next_tick() == t {
+                        sm_clocks[i].tick();
+                        let level = sm_clocks[i].level();
+                        let period = sm_clocks[i].period_fs();
+                        sms[i].cycle(t, level, period, &mut mem, &mut gwde);
+                    }
+                }
+            } else {
+                sm_clocks[0].tick();
+                let level = sm_clocks[0].level();
+                let period = sm_clocks[0].period_fs();
+                for off in 0..n {
+                    sms[(start + off) % n].cycle(t, level, period, &mut mem, &mut gwde);
+                }
+            }
+
+            // Epoch boundary: consult the governor. With a shared VRM the
+            // boundary is cycle-counted; with per-SM VRMs it is the
+            // wall-time equivalent.
+            let epoch_due = if config.per_sm_vrm {
+                t >= next_epoch_fs
+            } else {
+                sm_clocks[0].cycles() - last_epoch_cycle >= config.epoch_cycles
+            };
+            if epoch_due {
+                last_epoch_cycle = sm_clocks[0].cycles();
+                next_epoch_fs = t + epoch_span_fs;
+                epoch_index += 1;
+                let reports: Vec<SmEpochReport> = sms
+                    .iter_mut()
+                    .map(|sm| SmEpochReport {
+                        sm: sm.id(),
+                        sm_level: sm_clocks[clock_of(sm.id())].level(),
+                        counters: sm.take_epoch(),
+                        active_blocks: sm.active_blocks(),
+                        paused_blocks: sm.paused_blocks(),
+                        target_blocks: sm.target_blocks(),
+                    })
+                    .collect();
+                let ctx = EpochContext {
+                    w_cta: sms[0].w_cta(),
+                    resident_limit: sms[0].resident_limit(),
+                    sm_level: sm_clocks[0].level(),
+                    mem_level: mem_clock.level(),
+                    epoch_index,
+                    invocation: inv_idx,
+                    now_fs: t,
+                };
+                let decision = governor.epoch(&ctx, &reports);
+                if options.record_epochs {
+                    epochs.push(make_record(&ctx, &reports, inv_idx, epoch_index, t));
+                }
+                apply_decision(
+                    &decision,
+                    &mut sms,
+                    &mut gwde,
+                    &mut sm_clocks,
+                    &mut mem_clock,
+                    config,
+                    nominal_sm_period,
+                    t,
+                );
+            }
+
+            // Termination check for this invocation.
+            if gwde.drained()
+                && sms.iter().all(|s| !s.busy() && s.quiescent())
+                && mem.quiescent()
+            {
+                break;
+            }
+            let max_cycles = sm_clocks.iter().map(DomainClock::cycles).max().unwrap_or(0);
+            if max_cycles - inv_start_cycles > options.max_cycles_per_invocation {
+                return Err(SimError::CycleLimit {
+                    kernel: kernel.name().to_string(),
+                    invocation: inv_idx,
+                    limit: options.max_cycles_per_invocation,
+                });
+            }
+        }
+
+        invocations.push(InvocationStats {
+            index: inv_idx,
+            sm_cycles: sm_clocks.iter().map(DomainClock::cycles).max().unwrap_or(0)
+                - inv_start_cycles,
+            wall_fs: now - inv_start_fs,
+        });
+    }
+
+    // Assemble run statistics. With per-SM VRMs the SM-domain residency
+    // is averaged over SMs, so the power model's per-watt integrals keep
+    // their meaning (watts × wall time for the whole SM array).
+    let nc = sm_clocks.len() as u64;
+    let mut sm_cycles_at = [0u64; 3];
+    let mut sm_time_at = [0u64; 3];
+    for c in &sm_clocks {
+        for i in 0..3 {
+            sm_cycles_at[i] += c.cycles_at()[i];
+            sm_time_at[i] += c.time_at()[i];
+        }
+    }
+    for i in 0..3 {
+        sm_cycles_at[i] /= nc;
+        sm_time_at[i] /= nc;
+    }
+    let mut stats = RunStats {
+        wall_time_fs: now,
+        num_sms: config.num_sms,
+        sm_cycles_at,
+        sm_time_at,
+        mem_cycles_at: mem_clock.cycles_at(),
+        mem_time_at: mem_clock.time_at(),
+        mem_events: *mem.stats(),
+        epochs,
+        invocations,
+        ..RunStats::default()
+    };
+    for sm in &sms {
+        for (agg, ev) in stats.sm_events.iter_mut().zip(sm.events().iter()) {
+            agg.issued += ev.issued;
+            agg.alu_ops += ev.alu_ops;
+            agg.mem_instrs += ev.mem_instrs;
+            agg.l1_accesses += ev.l1_accesses;
+            agg.l1_hits += ev.l1_hits;
+            agg.busy_cycles += ev.busy_cycles;
+        }
+        stats.warp_states.merge(sm.run_counters());
+    }
+    Ok(stats)
+}
+
+fn make_record(
+    ctx: &EpochContext,
+    reports: &[SmEpochReport],
+    invocation: usize,
+    epoch_index: u64,
+    end_fs: Femtos,
+) -> EpochRecord {
+    let mut counters = WarpStateCounters::default();
+    let mut active = 0usize;
+    let mut target = 0usize;
+    for r in reports {
+        counters.merge(&r.counters);
+        active += r.active_blocks;
+        target += r.target_blocks;
+    }
+    let n = reports.len().max(1) as f64;
+    EpochRecord {
+        epoch_index,
+        invocation,
+        end_fs,
+        sm_level: ctx.sm_level,
+        mem_level: ctx.mem_level,
+        counters,
+        mean_active_blocks: active as f64 / n,
+        mean_target_blocks: target as f64 / n,
+    }
+}
+
+fn apply_request(clock: &mut DomainClock, request: VfRequest, apply_at: Femtos) {
+    match request {
+        VfRequest::Increase => clock.request_level(clock.level().step_up(), apply_at),
+        VfRequest::Decrease => clock.request_level(clock.level().step_down(), apply_at),
+        VfRequest::Maintain => {}
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply_decision(
+    decision: &EpochDecision,
+    sms: &mut [Sm],
+    gwde: &mut Gwde,
+    sm_clocks: &mut [DomainClock],
+    mem_clock: &mut DomainClock,
+    config: &GpuConfig,
+    nominal_sm_period: Femtos,
+    now: Femtos,
+) {
+    for (sm, target) in sms.iter_mut().zip(decision.target_blocks.iter()) {
+        if let Some(t) = target {
+            sm.set_target_blocks(*t);
+            sm.fill(gwde);
+        }
+    }
+    let apply_at = now + config.vrm_delay_cycles * nominal_sm_period;
+    match (&decision.per_sm_sm_vf, config.per_sm_vrm) {
+        (Some(requests), true) => {
+            for (clock, request) in sm_clocks.iter_mut().zip(requests.iter()) {
+                apply_request(clock, *request, apply_at);
+            }
+        }
+        _ => {
+            for clock in sm_clocks.iter_mut() {
+                apply_request(clock, decision.sm_vf, apply_at);
+            }
+        }
+    }
+    apply_request(mem_clock, decision.mem_vf, apply_at);
+    let _ = VfLevel::Nominal; // keep import alive under cfg permutations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::{FixedBlocksGovernor, StaticGovernor};
+    use crate::kernel::{Invocation, KernelCategory};
+    use crate::program::{Instr, Program, Segment};
+    use std::sync::Arc;
+
+    fn small_config() -> GpuConfig {
+        let mut c = GpuConfig::gtx480();
+        c.num_sms = 2;
+        c
+    }
+
+    fn alu_kernel(blocks: u64) -> KernelSpec {
+        KernelSpec::new(
+            "gpu-alu",
+            KernelCategory::Compute,
+            4,
+            8,
+            vec![Invocation {
+                grid_blocks: blocks,
+                program: Arc::new(Program::new(vec![Segment::new(
+                    vec![Instr::alu(), Instr::alu_dep()],
+                    100,
+                )])),
+            }],
+        )
+    }
+
+    #[test]
+    fn simulate_completes_and_counts_instructions() {
+        let stats = simulate(&small_config(), &alu_kernel(8), &mut StaticGovernor).unwrap();
+        assert_eq!(stats.instructions(), 8 * 4 * 2 * 100);
+        assert!(stats.wall_time_fs > 0);
+        assert!(stats.time_seconds() > 0.0);
+    }
+
+    #[test]
+    fn simulate_is_deterministic() {
+        let a = simulate(&small_config(), &alu_kernel(8), &mut StaticGovernor).unwrap();
+        let b = simulate(&small_config(), &alu_kernel(8), &mut StaticGovernor).unwrap();
+        assert_eq!(a.wall_time_fs, b.wall_time_fs);
+        assert_eq!(a.instructions(), b.instructions());
+        assert_eq!(a.sm_cycles_at, b.sm_cycles_at);
+    }
+
+    #[test]
+    fn higher_sm_frequency_speeds_up_compute() {
+        let base = simulate(&small_config(), &alu_kernel(16), &mut StaticGovernor).unwrap();
+        let hi_cfg = small_config().with_static_levels(VfLevel::High, VfLevel::Nominal);
+        let hi = simulate(&hi_cfg, &alu_kernel(16), &mut StaticGovernor).unwrap();
+        let speedup = base.time_seconds() / hi.time_seconds();
+        assert!(
+            speedup > 1.10,
+            "compute kernel should gain from SM boost (speedup {speedup:.3})"
+        );
+    }
+
+    fn long_alu_kernel(blocks: u64) -> KernelSpec {
+        KernelSpec::new(
+            "gpu-alu-long",
+            KernelCategory::Compute,
+            4,
+            8,
+            vec![Invocation {
+                grid_blocks: blocks,
+                program: Arc::new(Program::new(vec![Segment::new(
+                    vec![Instr::alu(), Instr::alu_dep()],
+                    4000,
+                )])),
+            }],
+        )
+    }
+
+    #[test]
+    fn fewer_blocks_slow_down_compute() {
+        let full = simulate(&small_config(), &long_alu_kernel(32), &mut StaticGovernor).unwrap();
+        let one = simulate(
+            &small_config(),
+            &long_alu_kernel(32),
+            &mut FixedBlocksGovernor::new(1),
+        )
+        .unwrap();
+        assert!(
+            one.time_seconds() > full.time_seconds() * 1.05,
+            "starving a compute kernel of blocks must cost performance"
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut c = small_config();
+        c.num_sms = 0;
+        let err = simulate(&c, &alu_kernel(1), &mut StaticGovernor).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn cycle_limit_fires() {
+        let opts = SimOptions {
+            max_cycles_per_invocation: 50,
+            record_epochs: false,
+        };
+        let err = simulate_with(&small_config(), &alu_kernel(64), &mut StaticGovernor, opts)
+            .unwrap_err();
+        assert!(matches!(err, SimError::CycleLimit { .. }));
+    }
+
+    #[test]
+    fn multi_invocation_kernels_record_per_invocation_stats() {
+        let prog = Arc::new(Program::new(vec![Segment::new(vec![Instr::alu()], 50)]));
+        let k = KernelSpec::new(
+            "multi",
+            KernelCategory::Compute,
+            2,
+            8,
+            vec![
+                Invocation {
+                    grid_blocks: 4,
+                    program: prog.clone(),
+                },
+                Invocation {
+                    grid_blocks: 8,
+                    program: prog,
+                },
+            ],
+        );
+        let stats = simulate(&small_config(), &k, &mut StaticGovernor).unwrap();
+        assert_eq!(stats.invocations.len(), 2);
+        assert!(stats.invocations[1].sm_cycles >= stats.invocations[0].sm_cycles / 2);
+        assert_eq!(stats.instructions(), (4 + 8) * 2 * 50);
+    }
+
+    #[test]
+    fn epoch_records_are_collected() {
+        let k = alu_kernel(64);
+        let stats = simulate(&small_config(), &k, &mut StaticGovernor).unwrap();
+        if stats.sm_cycles_at.iter().sum::<u64>() >= 4096 {
+            assert!(!stats.epochs.is_empty());
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! The shared memory system: interconnect queue, L2, memory controller and
+//! DRAM bandwidth model.
+//!
+//! Everything here runs in the *memory* clock domain (the paper changes
+//! the NoC, L2, MC and DRAM operating point together). Bandwidth is
+//! modelled with byte credits per memory cycle, so raising the memory
+//! frequency raises absolute bandwidth proportionally. A full interconnect
+//! queue back-pressures every SM's LD/ST unit — that is the signal the
+//! paper's `X_mem` counter ultimately observes.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::cache::{Cache, Lookup};
+use crate::config::{Femtos, GpuConfig, VfLevel};
+
+/// A line-granularity memory request from an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemReq {
+    /// Issuing SM.
+    pub sm: usize,
+    /// Opaque token returned with the response (the L1 uses the missing
+    /// line address so it can wake all MSHR waiters).
+    pub token: u64,
+    /// Byte address of the access.
+    pub addr: u64,
+    /// Loads get a response; stores only consume bandwidth.
+    pub is_load: bool,
+    /// Texture-path requests use the deep texture queue.
+    pub texture: bool,
+}
+
+/// Memory-side event statistics, broken down by memory-domain VF level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemLevelStats {
+    /// L2 probes.
+    pub l2_accesses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// Lines serviced by DRAM.
+    pub dram_accesses: u64,
+    /// Memory cycles in which DRAM transferred at least one line.
+    pub dram_busy_cycles: u64,
+    /// Idle memory cycles with requests still queued upstream (in the
+    /// interconnect but not yet at the DRAM controller).
+    pub dram_idle_upstream_cycles: u64,
+    /// Sum of interconnect-queue occupancy (per cycle; divide by cycles
+    /// for the mean depth).
+    pub icnt_occupancy_sum: u64,
+}
+
+/// The shared memory subsystem.
+#[derive(Debug)]
+pub struct MemSystem {
+    icnt: VecDeque<MemReq>,
+    tex: VecDeque<MemReq>,
+    dram: VecDeque<MemReq>,
+    l2: Cache,
+    icnt_cap: usize,
+    tex_cap: usize,
+    dram_cap: usize,
+    l2_banks: usize,
+    bytes_per_cycle: u64,
+    line_bytes: u64,
+    l2_latency: u32,
+    dram_latency: u32,
+    credit: u64,
+    /// Pending responses per SM, ordered by ready time.
+    responses: Vec<BinaryHeap<Reverse<(Femtos, u64)>>>,
+    /// Per-VF-level statistics.
+    stats: [MemLevelStats; 3],
+    /// Alternator for icnt/texture arbitration fairness.
+    prefer_tex: bool,
+}
+
+impl MemSystem {
+    /// Builds the memory system for a GPU configuration.
+    pub fn new(config: &GpuConfig) -> Self {
+        Self {
+            icnt: VecDeque::with_capacity(config.icnt_cap),
+            tex: VecDeque::with_capacity(config.tex_queue_cap.min(1024)),
+            dram: VecDeque::with_capacity(config.dram_queue_cap),
+            l2: Cache::new(config.l2),
+            icnt_cap: config.icnt_cap,
+            tex_cap: config.tex_queue_cap,
+            dram_cap: config.dram_queue_cap,
+            l2_banks: config.l2_banks,
+            bytes_per_cycle: config.dram_bytes_per_cycle,
+            line_bytes: config.l2.line_bytes,
+            l2_latency: config.l2_latency,
+            dram_latency: config.dram_latency,
+            credit: 0,
+            responses: (0..config.num_sms).map(|_| BinaryHeap::new()).collect(),
+            stats: [MemLevelStats::default(); 3],
+            prefer_tex: false,
+        }
+    }
+
+    /// Whether the relevant injection queue can accept one more request.
+    pub fn can_accept(&self, texture: bool) -> bool {
+        if texture {
+            self.tex.len() < self.tex_cap
+        } else {
+            self.icnt.len() < self.icnt_cap
+        }
+    }
+
+    /// Injects a request from an SM (call [`Self::can_accept`] first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target queue is full.
+    pub fn inject(&mut self, req: MemReq) {
+        if req.texture {
+            assert!(self.tex.len() < self.tex_cap, "texture queue overflow");
+            self.tex.push_back(req);
+        } else {
+            assert!(self.icnt.len() < self.icnt_cap, "interconnect queue overflow");
+            self.icnt.push_back(req);
+        }
+    }
+
+    /// Advances the memory system by one memory-domain cycle ending at
+    /// absolute time `now`, with the domain at `level` and period
+    /// `period_fs`.
+    pub fn step(&mut self, now: Femtos, level: VfLevel, period_fs: Femtos) {
+        let stats = &mut self.stats[level.index()];
+
+        // L2 service: up to `l2_banks` requests per cycle, arbitrating
+        // between the global and texture queues.
+        for _ in 0..self.l2_banks {
+            if self.dram.len() >= self.dram_cap {
+                break; // MC queue full: stall L2-side processing.
+            }
+            let req = {
+                let (first, second): (&mut VecDeque<MemReq>, &mut VecDeque<MemReq>) =
+                    if self.prefer_tex {
+                        (&mut self.tex, &mut self.icnt)
+                    } else {
+                        (&mut self.icnt, &mut self.tex)
+                    };
+                first.pop_front().or_else(|| second.pop_front())
+            };
+            self.prefer_tex = !self.prefer_tex;
+            let Some(req) = req else { break };
+
+            stats.l2_accesses += 1;
+            match self.l2.access(req.addr) {
+                Lookup::Hit => {
+                    stats.l2_hits += 1;
+                    if req.is_load {
+                        let ready = now + Femtos::from(self.l2_latency) * period_fs;
+                        self.responses[req.sm].push(Reverse((ready, req.token)));
+                    }
+                }
+                Lookup::Miss => self.dram.push_back(req),
+            }
+        }
+
+        // DRAM service: byte-credit bandwidth model plus fixed latency.
+        self.credit = (self.credit + self.bytes_per_cycle).min(self.line_bytes * 4);
+        let mut serviced = false;
+        while self.credit >= self.line_bytes {
+            let Some(req) = self.dram.pop_front() else { break };
+            self.credit -= self.line_bytes;
+            serviced = true;
+            stats.dram_accesses += 1;
+            if req.is_load {
+                let lat = Femtos::from(self.l2_latency + self.dram_latency) * period_fs;
+                self.responses[req.sm].push(Reverse((now + lat, req.token)));
+            }
+        }
+        stats.icnt_occupancy_sum += self.icnt.len() as u64;
+        if serviced {
+            stats.dram_busy_cycles += 1;
+        } else if !self.icnt.is_empty() || !self.tex.is_empty() {
+            stats.dram_idle_upstream_cycles += 1;
+        }
+        if !serviced && self.dram.is_empty() {
+            // Idle credit does not accumulate beyond the burst cap; drain it
+            // so a long-idle DRAM cannot answer a burst instantaneously.
+            self.credit = self.credit.min(self.line_bytes);
+        }
+    }
+
+    /// Moves every response for `sm` that is ready at `now` into `out`
+    /// (tokens only).
+    pub fn drain_ready(&mut self, sm: usize, now: Femtos, out: &mut Vec<u64>) {
+        let heap = &mut self.responses[sm];
+        while let Some(&Reverse((ready, token))) = heap.peek() {
+            if ready > now {
+                break;
+            }
+            heap.pop();
+            out.push(token);
+        }
+    }
+
+    /// Whether any request or response is still in flight anywhere.
+    pub fn quiescent(&self) -> bool {
+        self.icnt.is_empty()
+            && self.tex.is_empty()
+            && self.dram.is_empty()
+            && self.responses.iter().all(BinaryHeap::is_empty)
+    }
+
+    /// Occupancy of the global interconnect queue.
+    pub fn icnt_occupancy(&self) -> usize {
+        self.icnt.len()
+    }
+
+    /// Per-level statistics.
+    pub fn stats(&self) -> &[MemLevelStats; 3] {
+        &self.stats
+    }
+
+    /// The shared L2 cache (for hit-rate reporting).
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Flushes the L2 between invocations.
+    pub fn flush_l2(&mut self) {
+        self.l2.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        let mut c = GpuConfig::gtx480();
+        c.num_sms = 2;
+        c
+    }
+
+    fn load(sm: usize, addr: u64) -> MemReq {
+        MemReq {
+            sm,
+            token: addr,
+            addr,
+            is_load: true,
+            texture: false,
+        }
+    }
+
+    #[test]
+    fn l2_hit_responds_quickly() {
+        let c = cfg();
+        let mut m = MemSystem::new(&c);
+        let period = 1_000_000;
+        // Warm the line via DRAM.
+        m.inject(load(0, 0x1000));
+        let mut t = 0;
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            t += period;
+            m.step(t, VfLevel::Nominal, period);
+            m.drain_ready(0, t, &mut out);
+            if !out.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(out, vec![0x1000]);
+        let dram_first = m.stats()[1].dram_accesses;
+        assert_eq!(dram_first, 1);
+
+        // Second access to the same line: L2 hit, no extra DRAM access.
+        out.clear();
+        m.inject(load(0, 0x1000));
+        for _ in 0..40 {
+            t += period;
+            m.step(t, VfLevel::Nominal, period);
+            m.drain_ready(0, t, &mut out);
+            if !out.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(out, vec![0x1000]);
+        assert_eq!(m.stats()[1].dram_accesses, dram_first);
+        assert_eq!(m.stats()[1].l2_hits, 1);
+    }
+
+    #[test]
+    fn bandwidth_limits_line_throughput() {
+        let mut c = cfg();
+        c.dram_bytes_per_cycle = 64; // half a line per cycle
+        c.icnt_cap = 1000;
+        c.dram_queue_cap = 1000;
+        c.l2_banks = 16;
+        let mut m = MemSystem::new(&c);
+        // 100 distinct lines.
+        for i in 0..100u64 {
+            m.inject(load(0, i * 128 * 1021)); // avoid L2 set reuse patterns
+        }
+        let period = 1_000_000;
+        let mut t = 0;
+        let mut cycles = 0;
+        while !m.quiescent() {
+            t += period;
+            m.step(t, VfLevel::Nominal, period);
+            let mut out = Vec::new();
+            m.drain_ready(0, u64::MAX, &mut out);
+            cycles += 1;
+            assert!(cycles < 10_000, "memory system wedged");
+        }
+        // 100 lines at 0.5 lines/cycle -> at least ~200 cycles.
+        assert!(cycles >= 200, "served too fast: {cycles} cycles");
+    }
+
+    #[test]
+    fn back_pressure_when_icnt_full() {
+        let mut c = cfg();
+        c.icnt_cap = 4;
+        let mut m = MemSystem::new(&c);
+        for i in 0..4u64 {
+            assert!(m.can_accept(false));
+            m.inject(load(0, i * 128));
+        }
+        assert!(!m.can_accept(false), "queue should be full");
+        assert!(m.can_accept(true), "texture path independent of icnt");
+    }
+
+    #[test]
+    fn stores_consume_bandwidth_but_no_response() {
+        let c = cfg();
+        let mut m = MemSystem::new(&c);
+        m.inject(MemReq {
+            sm: 0,
+            token: 7,
+            addr: 0x40_0000,
+            is_load: false,
+            texture: false,
+        });
+        let period = 1_000_000;
+        let mut t = 0;
+        while !m.quiescent() {
+            t += period;
+            m.step(t, VfLevel::Nominal, period);
+        }
+        let mut out = Vec::new();
+        m.drain_ready(0, u64::MAX, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(m.stats()[1].dram_accesses, 1);
+    }
+
+    #[test]
+    fn responses_are_time_ordered() {
+        let c = cfg();
+        let mut m = MemSystem::new(&c);
+        m.inject(load(1, 0));
+        m.inject(load(1, 128 * 3));
+        let period = 1_000_000;
+        let mut t = 0;
+        for _ in 0..300 {
+            t += period;
+            m.step(t, VfLevel::Nominal, period);
+        }
+        let mut early = Vec::new();
+        m.drain_ready(1, 0, &mut early);
+        assert!(early.is_empty(), "nothing ready at t=0");
+        let mut all = Vec::new();
+        m.drain_ready(1, u64::MAX, &mut all);
+        assert_eq!(all.len(), 2);
+    }
+}

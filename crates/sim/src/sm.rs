@@ -1,0 +1,993 @@
+//! The streaming multiprocessor: warp scheduler, scoreboard, LD/ST unit,
+//! L1 data cache with MSHRs, barrier handling and CTA pause/unpause.
+//!
+//! Each SM cycle the scheduler walks resident warps oldest-block-first,
+//! classifies every unpaused warp into the paper's warp states
+//! ([`crate::counters::WarpState`]) and issues up to `issue_width`
+//! instructions. The LD/ST unit drains one cache-line access per cycle;
+//! a full LSU queue or a back-pressured interconnect leaves memory-ready
+//! warps in the `ExcessMem` state — the signal Equalizer keys on.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use crate::cache::{Cache, Lookup};
+use crate::ccws::CcwsState;
+use crate::config::{Femtos, GpuConfig, VfLevel};
+use crate::counters::{CycleSnapshot, WarpState, WarpStateCounters};
+use crate::gwde::Gwde;
+use crate::kernel::KernelSpec;
+use crate::memsys::{MemReq, MemSystem};
+use crate::program::{AddressGen, Instr, MemInstr, MemSpace, Program};
+use crate::warp::Warp;
+
+/// SM-side event counts, indexed by the SM-domain VF level at event time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmLevelEvents {
+    /// Instructions issued.
+    pub issued: u64,
+    /// Arithmetic instructions issued.
+    pub alu_ops: u64,
+    /// Memory instructions issued to the LSU.
+    pub mem_instrs: u64,
+    /// L1 data cache probes.
+    pub l1_accesses: u64,
+    /// L1 data cache hits.
+    pub l1_hits: u64,
+    /// Active SM cycles (at least one resident unfinished warp).
+    pub busy_cycles: u64,
+}
+
+#[derive(Debug, Clone)]
+struct BlockState {
+    block_index: u64,
+    warp_slots: Vec<usize>,
+    paused: bool,
+    launch_seq: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LsuEntry {
+    warp_slot: usize,
+    /// Captured at issue so address generation stays correct even if the
+    /// issuing block retires before a trailing store drains.
+    warp_uid: u64,
+    instr: MemInstr,
+    mem_counter: u64,
+    next_access: u32,
+}
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    id: usize,
+    // Configuration copies (hot path).
+    issue_width: usize,
+    max_alu_issue: usize,
+    max_mem_issue: usize,
+    alu_latency: u32,
+    l1_hit_latency: u32,
+    lsu_cap: usize,
+    mshr_cap: usize,
+    sample_interval: u64,
+    warp_launch_stagger: u32,
+    max_block_slots_hw: usize,
+    max_warps: usize,
+
+    // Per-invocation kernel shape.
+    w_cta: usize,
+    resident_limit: usize,
+    program: Option<Arc<Program>>,
+
+    warps: Vec<Option<Warp>>,
+    blocks: Vec<Option<BlockState>>,
+    launch_seq: u64,
+    sched_order: Vec<usize>,
+    order_dirty: bool,
+
+    lsu: VecDeque<LsuEntry>,
+    l1: Cache,
+    mshr: HashMap<u64, Vec<usize>>,
+    local_ready: BinaryHeap<Reverse<(Femtos, usize)>>,
+    addr_gen: AddressGen,
+
+    target_blocks: usize,
+    cycles: u64,
+    snapshot: CycleSnapshot,
+    epoch: WarpStateCounters,
+    run_total: WarpStateCounters,
+    events: [SmLevelEvents; 3],
+    resp_buf: Vec<u64>,
+    ccws: Option<CcwsState>,
+    blocks_completed: u64,
+}
+
+impl Sm {
+    /// Builds an SM from the GPU configuration.
+    pub fn new(id: usize, config: &GpuConfig) -> Self {
+        Self {
+            id,
+            issue_width: config.issue_width,
+            max_alu_issue: config.max_alu_issue,
+            max_mem_issue: config.max_mem_issue,
+            alu_latency: config.alu_latency,
+            l1_hit_latency: config.l1_hit_latency,
+            lsu_cap: config.lsu_queue_cap,
+            mshr_cap: config.l1_mshr,
+            sample_interval: config.sample_interval,
+            warp_launch_stagger: config.warp_launch_stagger,
+            max_block_slots_hw: config.max_blocks_per_sm,
+            max_warps: config.max_warps_per_sm,
+            w_cta: 1,
+            resident_limit: 1,
+            program: None,
+            warps: vec![None; config.max_warps_per_sm],
+            blocks: vec![None; config.max_blocks_per_sm],
+            launch_seq: 0,
+            sched_order: Vec::with_capacity(config.max_warps_per_sm),
+            order_dirty: true,
+            lsu: VecDeque::with_capacity(config.lsu_queue_cap),
+            l1: Cache::new(config.l1),
+            mshr: HashMap::new(),
+            local_ready: BinaryHeap::new(),
+            addr_gen: AddressGen::new(config.l1.line_bytes, id as u64),
+            target_blocks: 1,
+            cycles: 0,
+            snapshot: CycleSnapshot::default(),
+            epoch: WarpStateCounters::default(),
+            run_total: WarpStateCounters::default(),
+            events: [SmLevelEvents::default(); 3],
+            resp_buf: Vec::new(),
+            ccws: config
+                .ccws
+                .map(|c| CcwsState::new(c, config.max_warps_per_sm)),
+            blocks_completed: 0,
+        }
+    }
+
+    /// The SM's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Prepares the SM for a new kernel invocation.
+    pub fn begin_invocation(&mut self, kernel: &KernelSpec, invocation: usize, program: Arc<Program>) {
+        self.w_cta = kernel.warps_per_block();
+        self.resident_limit = kernel.resident_block_limit(self.max_block_slots_hw, self.max_warps);
+        self.program = Some(program);
+        self.warps.iter_mut().for_each(|w| *w = None);
+        self.blocks.iter_mut().for_each(|b| *b = None);
+        self.launch_seq = 0;
+        self.order_dirty = true;
+        self.lsu.clear();
+        self.mshr.clear();
+        self.local_ready.clear();
+        self.l1.flush();
+        self.target_blocks = self.resident_limit;
+        if let Some(ccws) = &mut self.ccws {
+            ccws.reset();
+        }
+        self.addr_gen = AddressGen::new(
+            self.l1.config().line_bytes,
+            kernel
+                .seed()
+                .wrapping_add((self.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add((invocation as u64) << 32),
+        );
+    }
+
+    /// Number of unpaused resident blocks.
+    pub fn active_blocks(&self) -> usize {
+        self.blocks
+            .iter()
+            .flatten()
+            .filter(|b| !b.paused)
+            .count()
+    }
+
+    /// Number of paused resident blocks.
+    pub fn paused_blocks(&self) -> usize {
+        self.blocks.iter().flatten().filter(|b| b.paused).count()
+    }
+
+    /// The runtime's current concurrency target for this SM.
+    pub fn target_blocks(&self) -> usize {
+        self.target_blocks
+    }
+
+    /// The effective resident-block limit for the current kernel.
+    pub fn resident_limit(&self) -> usize {
+        self.resident_limit
+    }
+
+    /// Warps per block of the current kernel.
+    pub fn w_cta(&self) -> usize {
+        self.w_cta
+    }
+
+    /// Total blocks completed on this SM in the current run.
+    pub fn blocks_completed(&self) -> u64 {
+        self.blocks_completed
+    }
+
+    /// Grid indices of the currently resident blocks (paused included),
+    /// in launch order. Useful for debugging and trace inspection.
+    pub fn resident_block_indices(&self) -> Vec<u64> {
+        let mut blocks: Vec<(u64, u64)> = self
+            .blocks
+            .iter()
+            .flatten()
+            .map(|b| (b.launch_seq, b.block_index))
+            .collect();
+        blocks.sort_unstable();
+        blocks.into_iter().map(|(_, idx)| idx).collect()
+    }
+
+    /// Per-level issue/cache event counts.
+    pub fn events(&self) -> &[SmLevelEvents; 3] {
+        &self.events
+    }
+
+    /// The L1 data cache (for hit-rate reporting).
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// The CCWS state, if cache-conscious scheduling is enabled.
+    pub fn ccws(&self) -> Option<&CcwsState> {
+        self.ccws.as_ref()
+    }
+
+    /// Whole-run accumulated warp-state counters (Figure 4 data).
+    pub fn run_counters(&self) -> &WarpStateCounters {
+        &self.run_total
+    }
+
+    /// Sets the concurrency target, pausing or unpausing blocks as needed.
+    ///
+    /// The target is clamped to `1..=resident_limit`.
+    pub fn set_target_blocks(&mut self, target: usize) {
+        self.target_blocks = target.clamp(1, self.resident_limit);
+        // Pause youngest active blocks while above target.
+        while self.active_blocks() > self.target_blocks {
+            let victim = self
+                .blocks
+                .iter_mut()
+                .flatten()
+                .filter(|b| !b.paused)
+                .max_by_key(|b| b.launch_seq)
+                .expect("active_blocks > 0");
+            victim.paused = true;
+            self.order_dirty = true;
+        }
+        // Unpausing to meet a raised target happens in `fill`.
+    }
+
+    /// Unpauses blocks and fetches new ones from the GWDE until the SM
+    /// meets its concurrency target (or runs out of work/slots).
+    pub fn fill(&mut self, gwde: &mut Gwde) {
+        while self.active_blocks() < self.target_blocks {
+            // Prefer resuming a paused block (paper §IV-B: no new GWDE
+            // request is made while paused blocks exist).
+            if let Some(b) = self
+                .blocks
+                .iter_mut()
+                .flatten()
+                .filter(|b| b.paused)
+                .min_by_key(|b| b.launch_seq)
+            {
+                b.paused = false;
+                self.order_dirty = true;
+                continue;
+            }
+            let Some(slot) = self.free_block_slot() else { break };
+            let Some(block_index) = gwde.dispatch() else { break };
+            self.launch_block(slot, block_index);
+        }
+    }
+
+    fn free_block_slot(&self) -> Option<usize> {
+        (0..self.resident_limit.min(self.blocks.len())).find(|&s| self.blocks[s].is_none())
+    }
+
+    fn launch_block(&mut self, slot: usize, block_index: u64) {
+        let base = slot * self.w_cta;
+        let mut warp_slots = Vec::with_capacity(self.w_cta);
+        for i in 0..self.w_cta {
+            let ws = base + i;
+            debug_assert!(self.warps[ws].is_none(), "warp slot collision");
+            let uid = block_index * self.w_cta as u64 + i as u64;
+            let mut warp = Warp::new(ws, uid, slot, block_index);
+            warp.stagger = i as u32 * self.warp_launch_stagger;
+            self.warps[ws] = Some(warp);
+            warp_slots.push(ws);
+        }
+        self.blocks[slot] = Some(BlockState {
+            block_index,
+            warp_slots,
+            paused: false,
+            launch_seq: self.launch_seq,
+        });
+        self.launch_seq += 1;
+        self.order_dirty = true;
+    }
+
+    fn rebuild_order(&mut self) {
+        self.sched_order.clear();
+        let mut blocks: Vec<&BlockState> = self.blocks.iter().flatten().filter(|b| !b.paused).collect();
+        blocks.sort_by_key(|b| b.launch_seq);
+        for b in blocks {
+            self.sched_order.extend_from_slice(&b.warp_slots);
+        }
+        self.order_dirty = false;
+    }
+
+    /// Whether any block (active or paused) is still resident.
+    pub fn busy(&self) -> bool {
+        self.blocks.iter().any(Option::is_some)
+    }
+
+    /// Whether the SM has any in-flight memory state.
+    pub fn quiescent(&self) -> bool {
+        self.lsu.is_empty() && self.mshr.is_empty() && self.local_ready.is_empty()
+    }
+
+    /// Takes and resets the epoch counters.
+    pub fn take_epoch(&mut self) -> WarpStateCounters {
+        std::mem::take(&mut self.epoch)
+    }
+
+    /// Advances the SM by one cycle ending at `now`.
+    pub fn cycle(
+        &mut self,
+        now: Femtos,
+        level: VfLevel,
+        period_fs: Femtos,
+        mem: &mut MemSystem,
+        gwde: &mut Gwde,
+    ) {
+        self.cycles += 1;
+        let li = level.index();
+        let mut completed_blocks: Vec<usize> = Vec::new();
+
+        // 1. Deliver memory responses (global/texture) and local L1 hits.
+        //    A load completion can be the last outstanding work of an
+        //    already-finished warp, so block completion is re-checked.
+        let mut buf = std::mem::take(&mut self.resp_buf);
+        buf.clear();
+        mem.drain_ready(self.id, now, &mut buf);
+        for token in buf.drain(..) {
+            if let Some(waiters) = self.mshr.remove(&token) {
+                for ws in waiters {
+                    self.deliver_load(ws, &mut completed_blocks);
+                }
+            }
+        }
+        self.resp_buf = buf;
+        while let Some(&Reverse((t, ws))) = self.local_ready.peek() {
+            if t > now {
+                break;
+            }
+            self.local_ready.pop();
+            self.deliver_load(ws, &mut completed_blocks);
+        }
+
+        // 2. LD/ST unit: one cache-line access per cycle, head-of-line.
+        self.lsu_step(now, li, period_fs, mem);
+
+        // 3. Refresh the CCWS issue mask periodically.
+        if let Some(ccws) = &mut self.ccws {
+            if self.cycles.is_multiple_of(32) {
+                ccws.refresh(32);
+            }
+        }
+
+        // 4. Issue stage: classify and issue warps oldest-block-first.
+        if self.order_dirty {
+            self.rebuild_order();
+        }
+        let mut snap = CycleSnapshot::default();
+        let mut issued_total = 0usize;
+        let mut issued_alu = 0usize;
+        let mut issued_mem = 0usize;
+
+        for oi in 0..self.sched_order.len() {
+            let ws = self.sched_order[oi];
+            let Some(warp) = self.warps[ws].as_ref() else {
+                continue;
+            };
+            if warp.finished || warp.at_barrier {
+                snap.record(WarpState::Others);
+                continue;
+            }
+            if warp.stagger > 0 {
+                self.warps[ws].as_mut().expect("warp exists").stagger -= 1;
+                snap.record(WarpState::Waiting);
+                continue;
+            }
+            if !warp.scoreboard_ready(now) {
+                snap.record(WarpState::Waiting);
+                continue;
+            }
+            let program = self.program.as_ref().expect("program set").clone();
+            let block_index = warp.block_index;
+            let instr = *warp
+                .pc
+                .fetch(&program, block_index)
+                .expect("unfinished warp has an instruction");
+            match instr {
+                Instr::Alu { dep } => {
+                    if issued_total < self.issue_width && issued_alu < self.max_alu_issue {
+                        issued_total += 1;
+                        issued_alu += 1;
+                        self.events[li].issued += 1;
+                        self.events[li].alu_ops += 1;
+                        let alu_ready = now + Femtos::from(self.alu_latency) * period_fs;
+                        let (finished, block_slot) = {
+                            let warp = self.warps[ws].as_mut().expect("warp exists");
+                            if dep {
+                                warp.ready_at = alu_ready;
+                            }
+                            let fin = !warp.pc.advance(&program, block_index);
+                            if fin {
+                                warp.finished = true;
+                            }
+                            (fin, warp.block_slot)
+                        };
+                        if finished {
+                            self.check_block_done(block_slot, &mut completed_blocks);
+                        }
+                        snap.record(WarpState::Issued);
+                    } else {
+                        snap.record(WarpState::ExcessAlu);
+                    }
+                }
+                Instr::Mem(mi) => {
+                    let ccws_ok = self
+                        .ccws
+                        .as_ref()
+                        .is_none_or(|c| c.may_issue_mem(ws));
+                    if ccws_ok
+                        && issued_total < self.issue_width
+                        && issued_mem < self.max_mem_issue
+                        && self.lsu.len() < self.lsu_cap
+                    {
+                        issued_total += 1;
+                        issued_mem += 1;
+                        self.events[li].issued += 1;
+                        self.events[li].mem_instrs += 1;
+                        let (finished, block_slot, counter, uid) = {
+                            let warp = self.warps[ws].as_mut().expect("warp exists");
+                            let counter = warp.mem_counter;
+                            warp.mem_counter += 1;
+                            if mi.is_load {
+                                warp.pending_loads += u32::from(mi.accesses);
+                            }
+                            let fin = !warp.pc.advance(&program, block_index);
+                            if fin {
+                                warp.finished = true;
+                            }
+                            (fin, warp.block_slot, counter, warp.uid)
+                        };
+                        self.lsu.push_back(LsuEntry {
+                            warp_slot: ws,
+                            warp_uid: uid,
+                            instr: mi,
+                            mem_counter: counter,
+                            next_access: 0,
+                        });
+                        if finished {
+                            self.check_block_done(block_slot, &mut completed_blocks);
+                        }
+                        snap.record(WarpState::Issued);
+                    } else {
+                        snap.record(WarpState::ExcessMem);
+                    }
+                }
+                Instr::Sync => {
+                    let (finished, block_slot) = {
+                        let warp = self.warps[ws].as_mut().expect("warp exists");
+                        let fin = !warp.pc.advance(&program, block_index);
+                        if fin {
+                            warp.finished = true;
+                        } else {
+                            warp.at_barrier = true;
+                        }
+                        (fin, warp.block_slot)
+                    };
+                    if finished {
+                        self.check_block_done(block_slot, &mut completed_blocks);
+                    } else {
+                        self.maybe_release_barrier(block_slot);
+                    }
+                    snap.record(WarpState::Others);
+                }
+            }
+        }
+
+        // 5. Retire completed blocks and backfill.
+        if !completed_blocks.is_empty() {
+            for slot in completed_blocks {
+                self.retire_block(slot);
+            }
+            self.fill(gwde);
+        }
+
+        // 6. Statistics.
+        if snap.active > 0 || self.busy() {
+            self.events[li].busy_cycles += 1;
+        }
+        self.epoch.cycles += 1;
+        self.run_total.cycles += 1;
+        if snap.issued == 0 {
+            self.epoch.idle_cycles += 1;
+            self.run_total.idle_cycles += 1;
+        }
+        if self.cycles.is_multiple_of(self.sample_interval) {
+            self.epoch.sample(&snap);
+            self.run_total.sample(&snap);
+        }
+        self.snapshot = snap;
+    }
+
+    /// Decrements a warp's outstanding-load count and re-checks block
+    /// completion when the load was the warp's last outstanding work.
+    fn deliver_load(&mut self, ws: usize, completed: &mut Vec<usize>) {
+        let (drained, slot) = {
+            let Some(w) = self.warps[ws].as_mut() else {
+                return;
+            };
+            w.complete_load();
+            (w.finished && w.pending_loads == 0, w.block_slot)
+        };
+        if drained {
+            self.check_block_done(slot, completed);
+        }
+    }
+
+    fn lsu_step(&mut self, now: Femtos, li: usize, period_fs: Femtos, mem: &mut MemSystem) {
+        let Some(head) = self.lsu.front().copied() else {
+            return;
+        };
+        let addr = self.addr_gen.line_addr(
+            head.instr.pattern,
+            self.id,
+            head.warp_uid,
+            head.mem_counter,
+            head.next_access,
+        );
+        let line = addr / self.l1.config().line_bytes;
+        let is_tex = head.instr.space == MemSpace::Texture;
+
+        let progressed = if is_tex {
+            // Texture path: bypass L1; deep queue hides back-pressure.
+            if let Some(waiters) = self.mshr.get_mut(&line) {
+                if head.instr.is_load {
+                    waiters.push(head.warp_slot);
+                }
+                true
+            } else if self.mshr.len() < self.mshr_cap && mem.can_accept(true) {
+                mem.inject(MemReq {
+                    sm: self.id,
+                    token: line,
+                    addr,
+                    is_load: head.instr.is_load,
+                    texture: true,
+                });
+                if head.instr.is_load {
+                    self.mshr.insert(line, vec![head.warp_slot]);
+                }
+                true
+            } else {
+                false
+            }
+        } else if let Some(waiters) = self.mshr.get_mut(&line) {
+            // Secondary miss: merge into the outstanding MSHR.
+            self.events[li].l1_accesses += 1;
+            if head.instr.is_load {
+                waiters.push(head.warp_slot);
+            }
+            true
+        } else if self.l1.contains(addr) {
+            self.events[li].l1_accesses += 1;
+            self.events[li].l1_hits += 1;
+            let hit = self.l1.access(addr);
+            debug_assert_eq!(hit, Lookup::Hit);
+            if head.instr.is_load {
+                let ready = now + Femtos::from(self.l1_hit_latency) * period_fs;
+                self.local_ready.push(Reverse((ready, head.warp_slot)));
+            }
+            true
+        } else if self.mshr.len() < self.mshr_cap && mem.can_accept(false) {
+            // Primary miss with room to proceed.
+            self.events[li].l1_accesses += 1;
+            let miss = self.l1.access(addr);
+            debug_assert_eq!(miss, Lookup::Miss);
+            if let Some(ccws) = &mut self.ccws {
+                ccws.on_l1_miss(head.warp_slot, line);
+            }
+            mem.inject(MemReq {
+                sm: self.id,
+                token: line,
+                addr,
+                is_load: head.instr.is_load,
+                texture: false,
+            });
+            if head.instr.is_load {
+                self.mshr.insert(line, vec![head.warp_slot]);
+            }
+            true
+        } else {
+            // MSHRs exhausted or interconnect full: head-of-line stall.
+            false
+        };
+
+        if progressed {
+            let head = self.lsu.front_mut().expect("head exists");
+            head.next_access += 1;
+            if head.next_access >= u32::from(head.instr.accesses) {
+                self.lsu.pop_front();
+            }
+        }
+    }
+
+    fn maybe_release_barrier(&mut self, block_slot: usize) {
+        let Some(block) = self.blocks[block_slot].as_ref() else {
+            return;
+        };
+        let all_arrived = block.warp_slots.iter().all(|&ws| {
+            self.warps[ws]
+                .as_ref()
+                .is_none_or(|w| w.finished || w.at_barrier)
+        });
+        if all_arrived {
+            for &ws in &block.warp_slots.clone() {
+                if let Some(w) = self.warps[ws].as_mut() {
+                    w.at_barrier = false;
+                }
+            }
+        }
+    }
+
+    fn check_block_done(&mut self, block_slot: usize, completed: &mut Vec<usize>) {
+        let Some(block) = self.blocks[block_slot].as_ref() else {
+            return;
+        };
+        // A block is done only when every warp has both executed its last
+        // instruction and drained its outstanding loads — retiring earlier
+        // would let responses alias a reused warp slot.
+        let done = block.warp_slots.iter().all(|&ws| {
+            self.warps[ws]
+                .as_ref()
+                .is_none_or(|w| w.finished && w.pending_loads == 0)
+        });
+        if done && !completed.contains(&block_slot) {
+            completed.push(block_slot);
+        }
+        // A barrier may have been waiting only on warps that finished.
+        self.maybe_release_barrier(block_slot);
+    }
+
+    fn retire_block(&mut self, block_slot: usize) {
+        if let Some(block) = self.blocks[block_slot].take() {
+            for ws in block.warp_slots {
+                self.warps[ws] = None;
+            }
+            self.blocks_completed += 1;
+            self.order_dirty = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelCategory;
+    use crate::program::Segment;
+
+    fn cfg() -> GpuConfig {
+        let mut c = GpuConfig::gtx480();
+        c.num_sms = 1;
+        c
+    }
+
+    fn run_to_completion(sm: &mut Sm, mem: &mut MemSystem, gwde: &mut Gwde, period: Femtos) -> u64 {
+        let mut now = 0;
+        let mut cycles = 0u64;
+        sm.fill(gwde);
+        // Memory runs at the same period for simplicity in unit tests.
+        while sm.busy() || !sm.quiescent() || !gwde.drained() {
+            now += period;
+            mem.step(now, VfLevel::Nominal, period);
+            sm.cycle(now, VfLevel::Nominal, period, mem, gwde);
+            sm.fill(gwde);
+            cycles += 1;
+            assert!(cycles < 2_000_000, "SM wedged");
+        }
+        cycles
+    }
+
+    fn alu_kernel(warps_per_block: usize, blocks: u64, iters: u32) -> KernelSpec {
+        KernelSpec::new(
+            "test-alu",
+            KernelCategory::Compute,
+            warps_per_block,
+            8,
+            vec![crate::kernel::Invocation {
+                grid_blocks: blocks,
+                program: Arc::new(Program::new(vec![Segment::new(
+                    vec![Instr::alu(), Instr::alu(), Instr::alu_dep()],
+                    iters,
+                )])),
+            }],
+        )
+    }
+
+    #[test]
+    fn completes_pure_alu_kernel() {
+        let c = cfg();
+        let mut sm = Sm::new(0, &c);
+        let mut mem = MemSystem::new(&c);
+        let k = alu_kernel(4, 6, 10);
+        sm.begin_invocation(&k, 0, k.invocations()[0].program.clone());
+        let mut gwde = Gwde::new(6);
+        run_to_completion(&mut sm, &mut mem, &mut gwde, 1_000_000);
+        assert_eq!(sm.blocks_completed(), 6);
+        let issued: u64 = sm.events().iter().map(|e| e.issued).sum();
+        assert_eq!(issued, 6 * 4 * 3 * 10, "every instruction issued exactly once");
+    }
+
+    #[test]
+    fn completes_memory_kernel_with_loads() {
+        let c = cfg();
+        let mut sm = Sm::new(0, &c);
+        let mut mem = MemSystem::new(&c);
+        let k = KernelSpec::new(
+            "test-mem",
+            KernelCategory::Memory,
+            2,
+            8,
+            vec![crate::kernel::Invocation {
+                grid_blocks: 4,
+                program: Arc::new(Program::new(vec![Segment::new(
+                    vec![Instr::load_streaming(), Instr::alu_dep()],
+                    20,
+                )])),
+            }],
+        );
+        sm.begin_invocation(&k, 0, k.invocations()[0].program.clone());
+        let mut gwde = Gwde::new(4);
+        run_to_completion(&mut sm, &mut mem, &mut gwde, 1_000_000);
+        assert_eq!(sm.blocks_completed(), 4);
+        let mem_instrs: u64 = sm.events().iter().map(|e| e.mem_instrs).sum();
+        assert_eq!(mem_instrs, 4 * 2 * 20);
+    }
+
+    #[test]
+    fn barrier_synchronises_block() {
+        let c = cfg();
+        let mut sm = Sm::new(0, &c);
+        let mut mem = MemSystem::new(&c);
+        let k = KernelSpec::new(
+            "test-sync",
+            KernelCategory::Compute,
+            4,
+            8,
+            vec![crate::kernel::Invocation {
+                grid_blocks: 2,
+                program: Arc::new(Program::new(vec![Segment::new(
+                    vec![Instr::alu_dep(), Instr::Sync, Instr::alu()],
+                    5,
+                )])),
+            }],
+        );
+        sm.begin_invocation(&k, 0, k.invocations()[0].program.clone());
+        let mut gwde = Gwde::new(2);
+        run_to_completion(&mut sm, &mut mem, &mut gwde, 1_000_000);
+        assert_eq!(sm.blocks_completed(), 2);
+    }
+
+    #[test]
+    fn pause_reduces_active_blocks_and_unpause_restores() {
+        let c = cfg();
+        let mut sm = Sm::new(0, &c);
+        let k = alu_kernel(4, 100, 1000);
+        sm.begin_invocation(&k, 0, k.invocations()[0].program.clone());
+        let mut gwde = Gwde::new(100);
+        sm.fill(&mut gwde);
+        assert_eq!(sm.active_blocks(), 8);
+        sm.set_target_blocks(3);
+        assert_eq!(sm.active_blocks(), 3);
+        assert_eq!(sm.paused_blocks(), 5);
+        sm.set_target_blocks(6);
+        sm.fill(&mut gwde);
+        assert_eq!(sm.active_blocks(), 6);
+        assert_eq!(sm.paused_blocks(), 2);
+    }
+
+    #[test]
+    fn target_is_clamped() {
+        let c = cfg();
+        let mut sm = Sm::new(0, &c);
+        let k = alu_kernel(6, 10, 10); // resident limit = 8
+        sm.begin_invocation(&k, 0, k.invocations()[0].program.clone());
+        sm.set_target_blocks(0);
+        assert_eq!(sm.target_blocks(), 1);
+        sm.set_target_blocks(100);
+        assert_eq!(sm.target_blocks(), 8);
+    }
+
+    #[test]
+    fn paused_blocks_finish_eventually() {
+        let c = cfg();
+        let mut sm = Sm::new(0, &c);
+        let mut mem = MemSystem::new(&c);
+        let k = alu_kernel(4, 8, 50);
+        sm.begin_invocation(&k, 0, k.invocations()[0].program.clone());
+        let mut gwde = Gwde::new(8);
+        sm.fill(&mut gwde);
+        sm.set_target_blocks(2);
+        run_to_completion(&mut sm, &mut mem, &mut gwde, 1_000_000);
+        assert_eq!(sm.blocks_completed(), 8, "paused blocks must still complete");
+    }
+
+    #[test]
+    fn compute_kernel_shows_excess_alu() {
+        let c = cfg();
+        let mut sm = Sm::new(0, &c);
+        let mut mem = MemSystem::new(&c);
+        // 8 blocks x 6 warps of independent ALU: far more ready warps than
+        // the 2 issue slots.
+        let k = KernelSpec::new(
+            "xalu",
+            KernelCategory::Compute,
+            6,
+            8,
+            vec![crate::kernel::Invocation {
+                grid_blocks: 8,
+                program: Arc::new(Program::new(vec![Segment::new(
+                    vec![Instr::alu(); 8],
+                    200,
+                )])),
+            }],
+        );
+        sm.begin_invocation(&k, 0, k.invocations()[0].program.clone());
+        let mut gwde = Gwde::new(8);
+        run_to_completion(&mut sm, &mut mem, &mut gwde, 1_000_000);
+        let rc = sm.run_counters();
+        assert!(
+            rc.avg_excess_alu() > rc.avg_excess_mem(),
+            "ALU-bound kernel must accumulate X_alu ({} vs {})",
+            rc.avg_excess_alu(),
+            rc.avg_excess_mem()
+        );
+        assert!(rc.avg_excess_alu() > 6.0, "X_alu should exceed W_cta");
+    }
+
+    #[test]
+    fn lsu_backpressure_shows_excess_mem() {
+        let mut c = cfg();
+        c.dram_bytes_per_cycle = 16; // starve bandwidth: 1 line per 8 cycles
+        let mut sm = Sm::new(0, &c);
+        let mut mem = MemSystem::new(&c);
+        let k = KernelSpec::new(
+            "xmem",
+            KernelCategory::Memory,
+            6,
+            8,
+            vec![crate::kernel::Invocation {
+                grid_blocks: 8,
+                program: Arc::new(Program::new(vec![Segment::new(
+                    vec![Instr::load_streaming()],
+                    60,
+                )])),
+            }],
+        );
+        sm.begin_invocation(&k, 0, k.invocations()[0].program.clone());
+        let mut gwde = Gwde::new(8);
+        run_to_completion(&mut sm, &mut mem, &mut gwde, 1_000_000);
+        let rc = sm.run_counters();
+        assert!(
+            rc.avg_excess_mem() > 2.0,
+            "bandwidth-saturated kernel must accumulate X_mem (got {})",
+            rc.avg_excess_mem()
+        );
+    }
+
+    #[test]
+    fn working_set_hits_l1_at_low_concurrency() {
+        let c = cfg();
+        let mut sm = Sm::new(0, &c);
+        let mut mem = MemSystem::new(&c);
+        // One block of 4 warps, each with a 16-line working set: 64 lines
+        // fit easily in the 256-line L1.
+        let k = KernelSpec::new(
+            "ws-small",
+            KernelCategory::Cache,
+            4,
+            1,
+            vec![crate::kernel::Invocation {
+                grid_blocks: 1,
+                program: Arc::new(Program::new(vec![Segment::new(
+                    vec![
+                        Instr::Mem(MemInstr {
+                            is_load: true,
+                            pattern: crate::program::AddressPattern::WorkingSet { lines: 16 },
+                            accesses: 1,
+                            space: MemSpace::Global,
+                        }),
+                        Instr::alu_dep(),
+                    ],
+                    300,
+                )])),
+            }],
+        );
+        sm.begin_invocation(&k, 0, k.invocations()[0].program.clone());
+        let mut gwde = Gwde::new(1);
+        run_to_completion(&mut sm, &mut mem, &mut gwde, 1_000_000);
+        assert!(
+            sm.l1().hit_rate() > 0.7,
+            "small working set should mostly hit (rate {})",
+            sm.l1().hit_rate()
+        );
+    }
+
+    #[test]
+    fn working_set_thrashes_l1_at_high_concurrency() {
+        let c = cfg();
+        let mut sm = Sm::new(0, &c);
+        let mut mem = MemSystem::new(&c);
+        // 8 blocks x 6 warps x 3000-line working sets: hopeless for a
+        // 256-line L1.
+        let k = KernelSpec::new(
+            "ws-big",
+            KernelCategory::Cache,
+            6,
+            8,
+            vec![crate::kernel::Invocation {
+                grid_blocks: 8,
+                program: Arc::new(Program::new(vec![Segment::new(
+                    vec![
+                        Instr::Mem(MemInstr {
+                            is_load: true,
+                            pattern: crate::program::AddressPattern::WorkingSet { lines: 3000 },
+                            accesses: 1,
+                            space: MemSpace::Global,
+                        }),
+                        Instr::alu_dep(),
+                    ],
+                    60,
+                )])),
+            }],
+        );
+        sm.begin_invocation(&k, 0, k.invocations()[0].program.clone());
+        let mut gwde = Gwde::new(8);
+        run_to_completion(&mut sm, &mut mem, &mut gwde, 1_000_000);
+        assert!(
+            sm.l1().hit_rate() < 0.3,
+            "oversized working sets must thrash (rate {})",
+            sm.l1().hit_rate()
+        );
+    }
+
+    #[test]
+    fn epoch_counters_reset_on_take() {
+        let c = cfg();
+        let mut sm = Sm::new(0, &c);
+        let mut mem = MemSystem::new(&c);
+        let k = alu_kernel(4, 2, 50);
+        sm.begin_invocation(&k, 0, k.invocations()[0].program.clone());
+        let mut gwde = Gwde::new(2);
+        sm.fill(&mut gwde);
+        for i in 1..=256u64 {
+            mem.step(i * 1_000_000, VfLevel::Nominal, 1_000_000);
+            sm.cycle(i * 1_000_000, VfLevel::Nominal, 1_000_000, &mut mem, &mut gwde);
+        }
+        let e = sm.take_epoch();
+        assert_eq!(e.cycles, 256);
+        assert_eq!(e.samples, 2);
+        let e2 = sm.take_epoch();
+        assert_eq!(e2.cycles, 0);
+    }
+}

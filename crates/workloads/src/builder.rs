@@ -1,0 +1,439 @@
+//! Parameterised kernel constructors, one per resource category.
+//!
+//! Each constructor emits a [`KernelSpec`] whose instruction mix is
+//! engineered to contend for one resource, mirroring how the paper's
+//! Rodinia/Parboil kernels behave on a Fermi GPU:
+//!
+//! * **compute** — long runs of independent ALU work (high ILP) with a
+//!   trickle of streaming loads: saturates the issue slots (`X_alu`).
+//! * **memory** — one streaming load per couple of ALU ops: saturates
+//!   DRAM bandwidth (back-pressure shows up as `X_mem`).
+//! * **cache** — per-warp working sets sized so that one or two resident
+//!   blocks fit the L1 but full occupancy thrashes straight through the
+//!   L2 into DRAM.
+//! * **unsaturated** — low occupancy or latency-bound mixes that saturate
+//!   nothing but lean toward compute or memory.
+
+use std::sync::Arc;
+
+use equalizer_sim::kernel::{Invocation, KernelCategory, KernelSpec};
+use equalizer_sim::program::{
+    AddressPattern, Instr, IterProfile, MemInstr, MemSpace, Program, Segment,
+};
+
+/// Number of SMs the default grids are sized for (GTX 480).
+pub const DEFAULT_NUM_SMS: u64 = 15;
+
+/// Builds a fully coalesced global load with the given pattern.
+pub fn load(pattern: AddressPattern, accesses: u8) -> Instr {
+    Instr::Mem(MemInstr {
+        is_load: true,
+        pattern,
+        accesses,
+        space: MemSpace::Global,
+    })
+}
+
+/// Builds a texture-path load (bypasses LD/ST back-pressure).
+pub fn tex_load(pattern: AddressPattern, accesses: u8) -> Instr {
+    Instr::Mem(MemInstr {
+        is_load: true,
+        pattern,
+        accesses,
+        space: MemSpace::Texture,
+    })
+}
+
+/// Builds a fully coalesced streaming store.
+pub fn store_streaming() -> Instr {
+    Instr::Mem(MemInstr {
+        is_load: false,
+        pattern: AddressPattern::Streaming,
+        accesses: 1,
+        space: MemSpace::Global,
+    })
+}
+
+/// A run of `n` ALU ops with a dependent op every `dep_every` positions
+/// (`dep_every == 0` means fully independent).
+pub fn alu_run(n: u32, dep_every: u32) -> Vec<Instr> {
+    (0..n)
+        .map(|i| {
+            if dep_every > 0 && (i + 1) % dep_every == 0 {
+                Instr::alu_dep()
+            } else {
+                Instr::alu()
+            }
+        })
+        .collect()
+}
+
+/// Grid size for `waves` full-GPU waves of a kernel with the given
+/// per-SM resident-block count.
+pub fn grid_for(blocks_per_sm: usize, waves: f64) -> u64 {
+    ((DEFAULT_NUM_SMS * blocks_per_sm as u64) as f64 * waves).round().max(1.0) as u64
+}
+
+/// Parameters for a compute-intensive kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct ComputeParams {
+    /// ALU ops per body (one streaming load closes each body).
+    pub alu_per_body: u32,
+    /// Dependent op spacing within the ALU run (0 = fully independent).
+    pub dep_every: u32,
+    /// Body iterations per warp.
+    pub iterations: u32,
+    /// Full-GPU waves of blocks.
+    pub waves: f64,
+}
+
+impl Default for ComputeParams {
+    fn default() -> Self {
+        Self {
+            alu_per_body: 56,
+            dep_every: 14,
+            iterations: 90,
+            waves: 2.0,
+        }
+    }
+}
+
+/// Builds a compute-intensive kernel.
+pub fn compute_kernel(
+    name: &str,
+    w_cta: usize,
+    max_blocks: usize,
+    fraction: f64,
+    p: ComputeParams,
+) -> KernelSpec {
+    let mut body = alu_run(p.alu_per_body, p.dep_every);
+    body.push(load(AddressPattern::Streaming, 1));
+    let program = Arc::new(Program::new(vec![Segment::new(body, p.iterations)]));
+    KernelSpec::new(
+        name,
+        KernelCategory::Compute,
+        w_cta,
+        max_blocks,
+        vec![Invocation {
+            grid_blocks: grid_for(max_blocks, p.waves),
+            program,
+        }],
+    )
+    .with_time_fraction(fraction)
+}
+
+/// Parameters for a memory-intensive kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryParams {
+    /// ALU ops between loads.
+    pub alu_per_load: u32,
+    /// Dependent-op spacing in the ALU run (0 = fully independent; an
+    /// independent run makes `X_alu` slightly positive, which is what
+    /// blinds Equalizer on the texture-path kernel).
+    pub alu_dep_every: u32,
+    /// Distinct lines per load instruction (coalescing degree).
+    pub divergence: u8,
+    /// Body iterations per warp.
+    pub iterations: u32,
+    /// Full-GPU waves of blocks.
+    pub waves: f64,
+    /// Route loads through the texture path (the `leuko-1` case).
+    pub texture: bool,
+}
+
+impl Default for MemoryParams {
+    fn default() -> Self {
+        Self {
+            alu_per_load: 2,
+            alu_dep_every: 2,
+            divergence: 1,
+            iterations: 220,
+            waves: 2.0,
+            texture: false,
+        }
+    }
+}
+
+/// Builds a memory-bandwidth-bound kernel.
+pub fn memory_kernel(
+    name: &str,
+    w_cta: usize,
+    max_blocks: usize,
+    fraction: f64,
+    p: MemoryParams,
+) -> KernelSpec {
+    let ld = if p.texture {
+        tex_load(AddressPattern::Streaming, p.divergence)
+    } else {
+        load(AddressPattern::Streaming, p.divergence)
+    };
+    let mut body = vec![ld];
+    body.extend(alu_run(p.alu_per_load, p.alu_dep_every));
+    let program = Arc::new(Program::new(vec![Segment::new(body, p.iterations)]));
+    KernelSpec::new(
+        name,
+        KernelCategory::Memory,
+        w_cta,
+        max_blocks,
+        vec![Invocation {
+            grid_blocks: grid_for(max_blocks, p.waves),
+            program,
+        }],
+    )
+    .with_time_fraction(fraction)
+}
+
+/// Parameters for a cache-sensitive kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheParams {
+    /// Private working-set lines per warp. The headline knob: the number
+    /// of resident blocks whose combined footprint fits the 256-line L1
+    /// determines the optimal concurrency.
+    pub lines_per_warp: u32,
+    /// Distinct lines per load (divergence multiplies thrash traffic).
+    pub divergence: u8,
+    /// ALU ops between working-set loads.
+    pub alu_per_load: u32,
+    /// Dependent-op spacing in the ALU run (0 = independent). Dependent
+    /// chains park warps in `Waiting`; independent work returns them to
+    /// the memory pipeline quickly, deepening the `X_mem` signal.
+    pub alu_dep_every: u32,
+    /// Body iterations per warp.
+    pub iterations: u32,
+    /// Full-GPU waves of blocks.
+    pub waves: f64,
+}
+
+impl Default for CacheParams {
+    fn default() -> Self {
+        Self {
+            lines_per_warp: 16,
+            divergence: 1,
+            alu_per_load: 3,
+            alu_dep_every: 2,
+            iterations: 160,
+            waves: 2.0,
+        }
+    }
+}
+
+/// Builds a cache-sensitive kernel.
+pub fn cache_kernel(
+    name: &str,
+    w_cta: usize,
+    max_blocks: usize,
+    fraction: f64,
+    p: CacheParams,
+) -> KernelSpec {
+    let mut body = vec![load(
+        AddressPattern::WorkingSet {
+            lines: p.lines_per_warp,
+        },
+        p.divergence,
+    )];
+    body.extend(alu_run(p.alu_per_load, p.alu_dep_every));
+    let program = Arc::new(Program::new(vec![Segment::new(body, p.iterations)]));
+    KernelSpec::new(
+        name,
+        KernelCategory::Cache,
+        w_cta,
+        max_blocks,
+        vec![Invocation {
+            grid_blocks: grid_for(max_blocks, p.waves),
+            program,
+        }],
+    )
+    .with_time_fraction(fraction)
+}
+
+/// One phase of an unsaturated kernel.
+#[derive(Debug, Clone, Copy)]
+pub enum UnsatPhase {
+    /// Compute-leaning: dependent ALU chains with sparse loads.
+    ComputeLean {
+        /// ALU ops per load.
+        alu_per_load: u32,
+        /// Iterations of the phase body.
+        iterations: u32,
+    },
+    /// Memory-leaning: latency-bound loads with light compute.
+    MemoryLean {
+        /// ALU ops per load.
+        alu_per_load: u32,
+        /// Iterations of the phase body.
+        iterations: u32,
+    },
+}
+
+/// Builds an unsaturated kernel from a sequence of phases.
+pub fn unsaturated_kernel(
+    name: &str,
+    w_cta: usize,
+    max_blocks: usize,
+    fraction: f64,
+    phases: &[UnsatPhase],
+    waves: f64,
+) -> KernelSpec {
+    let segments: Vec<Segment> = phases
+        .iter()
+        .map(|ph| match *ph {
+            UnsatPhase::ComputeLean {
+                alu_per_load,
+                iterations,
+            } => {
+                // Dependent chains: latency-bound, compute-inclined.
+                let mut body = alu_run(alu_per_load, 3);
+                body.push(load(AddressPattern::Shared { lines: 64 }, 1));
+                Segment::new(body, iterations)
+            }
+            UnsatPhase::MemoryLean {
+                alu_per_load,
+                iterations,
+            } => {
+                let mut body = vec![load(AddressPattern::Streaming, 1)];
+                body.extend(alu_run(alu_per_load, 2));
+                Segment::new(body, iterations)
+            }
+        })
+        .collect();
+    let program = Arc::new(Program::new(segments));
+    KernelSpec::new(
+        name,
+        KernelCategory::Unsaturated,
+        w_cta,
+        max_blocks,
+        vec![Invocation {
+            grid_blocks: grid_for(max_blocks, waves),
+            program,
+        }],
+    )
+    .with_time_fraction(fraction)
+}
+
+/// Attaches a long-tail load-imbalance profile to a kernel's programs
+/// (the `prtcl-2` case: one block outlives everything else).
+pub fn with_long_tail(kernel: KernelSpec, long_blocks: u32, multiplier: f32) -> KernelSpec {
+    let name = kernel.name().to_string();
+    let invocations = kernel
+        .invocations()
+        .iter()
+        .map(|inv| Invocation {
+            grid_blocks: inv.grid_blocks,
+            program: Arc::new(
+                Program::new(inv.program.segments().to_vec()).with_iter_profile(
+                    IterProfile::LongTail {
+                        long_blocks,
+                        multiplier,
+                    },
+                ),
+            ),
+        })
+        .collect();
+    KernelSpec::new(
+        name,
+        kernel.category(),
+        kernel.warps_per_block(),
+        kernel.max_blocks_per_sm(),
+        invocations,
+    )
+    .with_time_fraction(kernel.time_fraction())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_run_places_dependencies() {
+        let body = alu_run(6, 3);
+        assert_eq!(body.len(), 6);
+        assert_eq!(body[2], Instr::alu_dep());
+        assert_eq!(body[5], Instr::alu_dep());
+        assert_eq!(body[0], Instr::alu());
+    }
+
+    #[test]
+    fn alu_run_zero_dep_is_independent() {
+        assert!(alu_run(8, 0).iter().all(|i| *i == Instr::alu()));
+    }
+
+    #[test]
+    fn grid_scales_with_waves() {
+        assert_eq!(grid_for(8, 2.0), 240);
+        assert_eq!(grid_for(3, 1.0), 45);
+        assert!(grid_for(1, 0.0) >= 1);
+    }
+
+    #[test]
+    fn compute_kernel_is_alu_dominated() {
+        let k = compute_kernel("c", 6, 8, 1.0, ComputeParams::default());
+        let seg = &k.invocations()[0].program.segments()[0];
+        let alu = seg.body.iter().filter(|i| matches!(i, Instr::Alu { .. })).count();
+        let mem = seg.body.iter().filter(|i| matches!(i, Instr::Mem(_))).count();
+        assert!(alu > 20 * mem);
+        assert_eq!(k.category(), KernelCategory::Compute);
+    }
+
+    #[test]
+    fn memory_kernel_is_load_dominated() {
+        let k = memory_kernel("m", 16, 3, 1.0, MemoryParams::default());
+        let seg = &k.invocations()[0].program.segments()[0];
+        let mem = seg.body.iter().filter(|i| matches!(i, Instr::Mem(_))).count();
+        assert_eq!(mem, 1);
+        assert!(seg.body.len() <= 4, "loads every few instructions");
+    }
+
+    #[test]
+    fn texture_flag_routes_loads() {
+        let k = memory_kernel(
+            "t",
+            6,
+            6,
+            1.0,
+            MemoryParams {
+                texture: true,
+                ..MemoryParams::default()
+            },
+        );
+        let seg = &k.invocations()[0].program.segments()[0];
+        match seg.body[0] {
+            Instr::Mem(mi) => assert_eq!(mi.space, MemSpace::Texture),
+            _ => panic!("expected a load first"),
+        }
+    }
+
+    #[test]
+    fn long_tail_preserves_shape() {
+        let k = compute_kernel("lt", 6, 3, 0.35, ComputeParams::default());
+        let grid = k.invocations()[0].grid_blocks;
+        let k = with_long_tail(k, 1, 20.0);
+        assert_eq!(k.invocations()[0].grid_blocks, grid);
+        assert_eq!(
+            k.invocations()[0].program.iterations_for(0, 0),
+            k.invocations()[0].program.iterations_for(0, 5) * 20
+        );
+        assert!((k.time_fraction() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsaturated_kernel_has_one_segment_per_phase() {
+        let k = unsaturated_kernel(
+            "u",
+            2,
+            8,
+            1.0,
+            &[
+                UnsatPhase::ComputeLean {
+                    alu_per_load: 10,
+                    iterations: 50,
+                },
+                UnsatPhase::MemoryLean {
+                    alu_per_load: 4,
+                    iterations: 30,
+                },
+            ],
+            2.0,
+        );
+        assert_eq!(k.invocations()[0].program.segments().len(), 2);
+    }
+}

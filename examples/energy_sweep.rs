@@ -1,0 +1,34 @@
+//! Run the whole Table II suite in energy mode and print the per-category
+//! summary (a compact version of Figure 8).
+//!
+//! ```sh
+//! cargo run --release --example energy_sweep
+//! ```
+
+use equalizer_core::Mode;
+use equalizer_harness::figures::{all_kernels, figure7_8, summarise};
+use equalizer_harness::{pct, TextTable};
+
+fn main() {
+    let runner = equalizer_harness::Runner::gtx480();
+    let kernels = all_kernels();
+    println!("running {} kernels x 4 systems (this takes a few minutes)...", kernels.len());
+    let rows = figure7_8(&runner, &kernels, Mode::Energy).expect("simulation");
+
+    let mut t = TextTable::new(["kernel", "category", "performance", "energy saved"]);
+    for r in &rows {
+        t.row([
+            r.kernel.clone(),
+            r.category.to_string(),
+            format!("{:.3}", r.equalizer.speedup),
+            pct(1.0 - r.equalizer.energy_ratio),
+        ]);
+    }
+    println!("{t}");
+
+    println!("Category geomeans (performance / energy saved):");
+    for (group, sp, er) in summarise(&rows, |r| r.equalizer).groups {
+        println!("  {group:<12} {sp:.3} / {}", pct(1.0 - er));
+    }
+    println!("\nPaper: 15% energy saved overall at +5% performance.");
+}

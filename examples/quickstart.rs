@@ -1,0 +1,75 @@
+//! Quickstart: simulate one kernel on the baseline GPU, then let
+//! Equalizer tune it in both modes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use equalizer_core::{Equalizer, Mode};
+use equalizer_power::PowerModel;
+use equalizer_sim::prelude::*;
+use equalizer_workloads::kernel_by_name;
+
+fn main() -> Result<(), SimError> {
+    // The hardware: a Fermi-style GTX 480 (15 SMs, 48 warps/SM, two
+    // independently tunable clock domains).
+    let config = GpuConfig::gtx480();
+    let model = PowerModel::gtx480();
+
+    // The workload: kmeans, the paper's most cache-sensitive kernel.
+    let kernel = kernel_by_name("kmn").expect("kmn is in the Table II catalog");
+    println!(
+        "kernel {} ({}): {} warps/block, up to {} blocks/SM",
+        kernel.name(),
+        kernel.category(),
+        kernel.warps_per_block(),
+        kernel.max_blocks_per_sm()
+    );
+
+    // 1. Baseline: maximum concurrency, nominal frequencies.
+    let base = simulate(&config, &kernel, &mut StaticGovernor)?;
+    let base_energy = model.energy(&base);
+    println!(
+        "\nbaseline:     {:.3} ms, {:.1} mJ, L1 hit rate {:.1}%",
+        base.time_seconds() * 1e3,
+        base_energy.total_j() * 1e3,
+        base.l1_hit_rate() * 100.0
+    );
+
+    // 2. Equalizer in performance mode: finds the L1 thrashing, pauses
+    //    thread blocks and boosts the memory frequency.
+    let mut perf = Equalizer::new(Mode::Performance, config.num_sms);
+    let fast = simulate(&config, &kernel, &mut perf)?;
+    let fast_energy = model.energy(&fast);
+    println!(
+        "performance:  {:.3} ms ({:.2}x), {:.1} mJ ({:+.1}%), L1 hit rate {:.1}%",
+        fast.time_seconds() * 1e3,
+        base.time_seconds() / fast.time_seconds(),
+        fast_energy.total_j() * 1e3,
+        (fast_energy.total_j() / base_energy.total_j() - 1.0) * 100.0,
+        fast.l1_hit_rate() * 100.0
+    );
+
+    // 3. Equalizer in energy mode: same concurrency tuning, but throttles
+    //    the under-utilised domain instead of boosting the bottleneck.
+    let mut energy = Equalizer::new(Mode::Energy, config.num_sms);
+    let frugal = simulate(&config, &kernel, &mut energy)?;
+    let frugal_energy = model.energy(&frugal);
+    println!(
+        "energy:       {:.3} ms ({:.2}x), {:.1} mJ ({:+.1}%)",
+        frugal.time_seconds() * 1e3,
+        base.time_seconds() / frugal.time_seconds(),
+        frugal_energy.total_j() * 1e3,
+        (frugal_energy.total_j() / base_energy.total_j() - 1.0) * 100.0,
+    );
+
+    // Where did the time go? VF residency tells the story.
+    let r = fast.mem_level_residency();
+    println!(
+        "\nperformance-mode memory-domain residency: low {:.0}% / nominal {:.0}% / high {:.0}%",
+        r[0] * 100.0,
+        r[1] * 100.0,
+        r[2] * 100.0
+    );
+    Ok(())
+}

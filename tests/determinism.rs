@@ -1,0 +1,51 @@
+//! The simulator is a deterministic instrument: identical inputs must
+//! produce bit-identical statistics, regardless of governor.
+
+use equalizer_core::Mode;
+use equalizer_harness::{Runner, System};
+use equalizer_workloads::kernel_by_name;
+
+fn assert_identical(name: &str, system: System) {
+    let r = Runner::gtx480();
+    let k = kernel_by_name(name).unwrap();
+    let a = r.run(&k, system).unwrap();
+    let b = r.run(&k, system).unwrap();
+    assert_eq!(a.stats.wall_time_fs, b.stats.wall_time_fs, "{name} wall time");
+    assert_eq!(a.stats.instructions(), b.stats.instructions(), "{name} instrs");
+    assert_eq!(a.stats.dram_accesses(), b.stats.dram_accesses(), "{name} dram");
+    assert_eq!(
+        a.stats.sm_cycles_at, b.stats.sm_cycles_at,
+        "{name} cycle residency"
+    );
+    assert!(
+        (a.energy_j() - b.energy_j()).abs() < 1e-12,
+        "{name} energy"
+    );
+}
+
+#[test]
+fn baseline_runs_are_deterministic() {
+    assert_identical("mmer", System::Static(equalizer_baselines::StaticPoint::Baseline));
+}
+
+#[test]
+fn equalizer_runs_are_deterministic() {
+    assert_identical("mmer", System::Equalizer(Mode::Performance));
+}
+
+#[test]
+fn dyncta_and_ccws_runs_are_deterministic() {
+    assert_identical("mmer", System::DynCta);
+    assert_identical("mmer", System::Ccws);
+}
+
+#[test]
+fn energy_model_is_a_pure_function() {
+    let r = Runner::gtx480();
+    let k = kernel_by_name("cfd-2").unwrap();
+    let m = r.baseline(&k).unwrap();
+    let e1 = r.model().energy(&m.stats);
+    let e2 = r.model().energy(&m.stats);
+    assert_eq!(e1, e2);
+    assert!(e1.total_j() > 0.0);
+}

@@ -1,0 +1,201 @@
+//! Integration tests encoding the paper's core claims on the full
+//! 15-SM configuration with the real Table II kernels.
+//!
+//! These assert *directions and rough magnitudes* (who wins, roughly by
+//! how much), the reproduction standard set out in DESIGN.md.
+
+use equalizer_baselines::StaticPoint;
+use equalizer_core::Mode;
+use equalizer_harness::{compare, Runner, System};
+use equalizer_workloads::kernel_by_name;
+
+fn runner() -> Runner {
+    Runner::gtx480()
+}
+
+#[test]
+fn compute_kernel_scales_with_sm_frequency_only() {
+    let r = runner();
+    let k = kernel_by_name("mri-q").unwrap();
+    let base = r.baseline(&k).unwrap();
+    let sm_hi = r.run(&k, System::Static(StaticPoint::SmHigh)).unwrap();
+    let mem_hi = r.run(&k, System::Static(StaticPoint::MemHigh)).unwrap();
+    let c_sm = compare(&base, &sm_hi);
+    let c_mem = compare(&base, &mem_hi);
+    assert!(
+        c_sm.speedup > 1.10,
+        "SM boost must speed up a compute kernel (got {:.3})",
+        c_sm.speedup
+    );
+    assert!(
+        c_mem.speedup < 1.03,
+        "memory boost must not help a compute kernel (got {:.3})",
+        c_mem.speedup
+    );
+}
+
+#[test]
+fn memory_kernel_scales_with_memory_frequency_only() {
+    let r = runner();
+    let k = kernel_by_name("cfd-1").unwrap();
+    let base = r.baseline(&k).unwrap();
+    let sm_hi = r.run(&k, System::Static(StaticPoint::SmHigh)).unwrap();
+    let mem_hi = r.run(&k, System::Static(StaticPoint::MemHigh)).unwrap();
+    assert!(
+        compare(&base, &mem_hi).speedup > 1.10,
+        "memory boost must speed up a bandwidth-bound kernel"
+    );
+    let sm_effect = compare(&base, &sm_hi).speedup;
+    assert!(
+        (0.97..1.03).contains(&sm_effect),
+        "SM frequency must be irrelevant to a bandwidth-bound kernel (got {sm_effect:.3})"
+    );
+}
+
+#[test]
+fn lowering_the_idle_domain_saves_energy_without_performance() {
+    let r = runner();
+    // Compute kernel: memory-low saves energy at no cost.
+    let k = kernel_by_name("cutcp").unwrap();
+    let base = r.baseline(&k).unwrap();
+    let mem_lo = r.run(&k, System::Static(StaticPoint::MemLow)).unwrap();
+    let c = compare(&base, &mem_lo);
+    assert!(c.speedup > 0.97, "mem-low must not hurt compute ({:.3})", c.speedup);
+    assert!(c.energy_ratio < 0.99, "mem-low must save energy");
+
+    // Memory kernel: SM-low saves energy at no cost.
+    let k = kernel_by_name("histo-3").unwrap();
+    let base = r.baseline(&k).unwrap();
+    let sm_lo = r.run(&k, System::Static(StaticPoint::SmLow)).unwrap();
+    let c = compare(&base, &sm_lo);
+    assert!(c.speedup > 0.97, "SM-low must not hurt memory kernel ({:.3})", c.speedup);
+    assert!(c.energy_ratio < 0.95, "SM-low must save >5% on a memory kernel");
+}
+
+#[test]
+fn cache_kernel_prefers_fewer_blocks() {
+    let r = runner();
+    let k = kernel_by_name("kmn").unwrap();
+    let base = r.baseline(&k).unwrap();
+    let one = r.run(&k, System::FixedBlocks(1)).unwrap();
+    let c = compare(&base, &one);
+    assert!(
+        c.speedup > 1.8,
+        "kmeans at one block must be much faster (got {:.3})",
+        c.speedup
+    );
+    assert!(
+        one.stats.l1_hit_rate() > 0.9,
+        "one resident block must fit the L1 (hit rate {:.3})",
+        one.stats.l1_hit_rate()
+    );
+    assert!(
+        base.stats.l1_hit_rate() < 0.6,
+        "full concurrency must thrash the L1 (hit rate {:.3})",
+        base.stats.l1_hit_rate()
+    );
+}
+
+#[test]
+fn equalizer_performance_mode_beats_baseline_on_every_category() {
+    let r = runner();
+    for name in ["mri-q", "cfd-1", "kmn", "sad"] {
+        let k = kernel_by_name(name).unwrap();
+        let base = r.baseline(&k).unwrap();
+        let eq = r.run(&k, System::Equalizer(Mode::Performance)).unwrap();
+        let c = compare(&base, &eq);
+        assert!(
+            c.speedup > 1.08,
+            "{name}: performance mode must deliver a clear speedup (got {:.3})",
+            c.speedup
+        );
+    }
+}
+
+#[test]
+fn equalizer_energy_mode_saves_energy_without_losing_performance() {
+    let r = runner();
+    for name in ["mri-q", "cfd-1", "lbm"] {
+        let k = kernel_by_name(name).unwrap();
+        let base = r.baseline(&k).unwrap();
+        let eq = r.run(&k, System::Equalizer(Mode::Energy)).unwrap();
+        let c = compare(&base, &eq);
+        assert!(
+            c.speedup > 0.95,
+            "{name}: energy mode must not cost >5% performance (got {:.3})",
+            c.speedup
+        );
+        assert!(
+            c.energy_ratio < 0.95,
+            "{name}: energy mode must save >5% energy (got {:.3})",
+            c.energy_ratio
+        );
+    }
+}
+
+#[test]
+fn equalizer_matches_the_best_static_point_for_compute() {
+    let r = runner();
+    let k = kernel_by_name("pf").unwrap();
+    let base = r.baseline(&k).unwrap();
+    let eq = r.run(&k, System::Equalizer(Mode::Performance)).unwrap();
+    let sm_hi = r.run(&k, System::Static(StaticPoint::SmHigh)).unwrap();
+    let eq_speedup = compare(&base, &eq).speedup;
+    let static_speedup = compare(&base, &sm_hi).speedup;
+    assert!(
+        eq_speedup > static_speedup - 0.02,
+        "Equalizer ({eq_speedup:.3}) must track the best static point ({static_speedup:.3})"
+    );
+}
+
+#[test]
+fn leuko1_texture_path_blinds_equalizer() {
+    // §V-B: leuko-1's texture traffic hides memory back-pressure from the
+    // LD/ST pipeline, so Equalizer cannot capture its memory intensity.
+    let r = runner();
+    let k = kernel_by_name("leuko-1").unwrap();
+    let base = r.baseline(&k).unwrap();
+    let eq = r.run(&k, System::Equalizer(Mode::Performance)).unwrap();
+    let mem_hi = r.run(&k, System::Static(StaticPoint::MemHigh)).unwrap();
+    let eq_speedup = compare(&base, &eq).speedup;
+    let oracle = compare(&base, &mem_hi).speedup;
+    assert!(
+        eq_speedup < oracle - 0.05,
+        "Equalizer ({eq_speedup:.3}) must fall clearly short of the memory boost \
+         ({oracle:.3}) on the texture-path kernel"
+    );
+}
+
+#[test]
+fn load_imbalanced_kernel_gets_sm_boost() {
+    // prtcl-2: one straggler block; Algorithm 1's idle arm races it.
+    let r = runner();
+    let k = kernel_by_name("prtcl-2").unwrap();
+    let base = r.baseline(&k).unwrap();
+    let eq = r.run(&k, System::Equalizer(Mode::Performance)).unwrap();
+    let c = compare(&base, &eq);
+    assert!(c.speedup > 1.10, "idle SMs must trigger the race-to-finish boost");
+    // Leakage savings keep the energy cost low despite the boost.
+    assert!(
+        c.energy_ratio < 1.10,
+        "energy increase must stay modest (got {:+.1}%)",
+        (c.energy_ratio - 1.0) * 100.0
+    );
+}
+
+#[test]
+fn stencil_pays_for_energy_mode() {
+    // §V-B: stncl is the one kernel that loses performance in energy mode
+    // because neither domain is slack.
+    let r = runner();
+    let k = kernel_by_name("stncl").unwrap();
+    let base = r.baseline(&k).unwrap();
+    let eq = r.run(&k, System::Equalizer(Mode::Energy)).unwrap();
+    let c = compare(&base, &eq);
+    assert!(
+        c.speedup < 0.98,
+        "stncl must lose performance in energy mode (got {:.3})",
+        c.speedup
+    );
+    assert!(c.energy_ratio < 1.0, "but it must still save energy");
+}

@@ -1,0 +1,113 @@
+//! Tests for the per-SM voltage-regulator extension (§V-A1 discussion):
+//! each SM gets its own clock domain and the Equalizer variant steers
+//! each regulator from that SM's own vote instead of a global majority.
+
+use std::sync::Arc;
+
+use equalizer_core::{Equalizer, Mode};
+use equalizer_power::PowerModel;
+use equalizer_sim::gpu::simulate;
+use equalizer_sim::governor::StaticGovernor;
+use equalizer_sim::kernel::{Invocation, KernelCategory, KernelSpec};
+use equalizer_sim::prelude::*;
+use equalizer_workloads::kernel_by_name;
+
+fn per_sm_config() -> GpuConfig {
+    let mut c = GpuConfig::gtx480();
+    c.per_sm_vrm = true;
+    c
+}
+
+fn alu_kernel(blocks: u64, iters: u32) -> KernelSpec {
+    KernelSpec::new(
+        "vrm-alu",
+        KernelCategory::Compute,
+        4,
+        8,
+        vec![Invocation {
+            grid_blocks: blocks,
+            program: Arc::new(Program::new(vec![Segment::new(
+                vec![Instr::alu(), Instr::alu_dep()],
+                iters,
+            )])),
+        }],
+    )
+}
+
+#[test]
+fn per_sm_clocks_match_shared_behaviour_under_static_governor() {
+    // Without any VF requests, per-SM clocks are indistinguishable from
+    // the shared clock.
+    let mut shared = GpuConfig::gtx480();
+    shared.num_sms = 4;
+    let mut per_sm = shared.clone();
+    per_sm.per_sm_vrm = true;
+    let k = alu_kernel(16, 400);
+    let a = simulate(&shared, &k, &mut StaticGovernor).unwrap();
+    let b = simulate(&per_sm, &k, &mut StaticGovernor).unwrap();
+    assert_eq!(a.instructions(), b.instructions());
+    assert_eq!(a.wall_time_fs, b.wall_time_fs);
+    assert_eq!(a.sm_cycles_at, b.sm_cycles_at);
+}
+
+#[test]
+fn per_sm_equalizer_still_tunes_compute_kernels() {
+    let config = per_sm_config();
+    let k = kernel_by_name("mri-q").unwrap();
+    let base = simulate(&GpuConfig::gtx480(), &k, &mut StaticGovernor).unwrap();
+    let mut gov = Equalizer::new(Mode::Performance, config.num_sms).with_per_sm_vrm(true);
+    let tuned = simulate(&config, &k, &mut gov).unwrap();
+    let speedup = base.time_seconds() / tuned.time_seconds();
+    assert!(
+        speedup > 1.10,
+        "per-SM VRM performance mode must still boost compute (got {speedup:.3})"
+    );
+    assert!(
+        tuned.sm_level_residency()[2] > 0.5,
+        "SMs should spend most time boosted"
+    );
+}
+
+#[test]
+fn per_sm_vrm_saves_energy_on_imbalanced_kernels() {
+    // prtcl-2: one straggler block. With a shared VRM, boosting the
+    // straggler's SM boosts all fifteen; with per-SM VRMs only the busy
+    // SM pays for its boost — same story the paper tells for per-SM
+    // regulators. Energy cost must therefore not be worse, for at least
+    // comparable performance.
+    let k = kernel_by_name("prtcl-2").unwrap();
+    let model = PowerModel::gtx480();
+
+    let shared_cfg = GpuConfig::gtx480();
+    let mut shared_gov = Equalizer::new(Mode::Performance, shared_cfg.num_sms);
+    let shared = simulate(&shared_cfg, &k, &mut shared_gov).unwrap();
+
+    let per_cfg = per_sm_config();
+    let mut per_gov = Equalizer::new(Mode::Performance, per_cfg.num_sms).with_per_sm_vrm(true);
+    let per = simulate(&per_cfg, &k, &mut per_gov).unwrap();
+
+    let shared_e = model.energy(&shared).total_j();
+    let per_e = model.energy(&per).total_j();
+    let perf_ratio = shared.time_seconds() / per.time_seconds();
+    assert!(
+        perf_ratio > 0.95,
+        "per-SM VRM must not give up meaningful performance (ratio {perf_ratio:.3})"
+    );
+    assert!(
+        per_e < shared_e * 1.02,
+        "per-SM VRM must not cost more energy on an imbalanced kernel \
+         (shared {shared_e:.4} J, per-SM {per_e:.4} J)"
+    );
+}
+
+#[test]
+fn per_sm_runs_are_deterministic() {
+    let config = per_sm_config();
+    let k = kernel_by_name("sc").unwrap();
+    let mut g1 = Equalizer::new(Mode::Energy, config.num_sms).with_per_sm_vrm(true);
+    let mut g2 = Equalizer::new(Mode::Energy, config.num_sms).with_per_sm_vrm(true);
+    let a = simulate(&config, &k, &mut g1).unwrap();
+    let b = simulate(&config, &k, &mut g2).unwrap();
+    assert_eq!(a.wall_time_fs, b.wall_time_fs);
+    assert_eq!(a.instructions(), b.instructions());
+}

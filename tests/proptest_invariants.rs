@@ -1,0 +1,174 @@
+//! Property-based tests over the simulator, decision algorithm and power
+//! model: random programs terminate with conserved instruction counts,
+//! random counters never produce out-of-range decisions, and energy is
+//! positive and component-additive.
+
+use std::sync::Arc;
+
+use equalizer_core::{decide, table_i_votes, Action, Mode};
+use equalizer_power::PowerModel;
+use equalizer_sim::counters::WarpStateCounters;
+use equalizer_sim::governor::{FixedBlocksGovernor, StaticGovernor};
+use equalizer_sim::gpu::simulate;
+use equalizer_sim::kernel::{Invocation, KernelCategory, KernelSpec};
+use equalizer_sim::prelude::*;
+use proptest::prelude::*;
+
+/// A small random instruction body.
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        3 => Just(Instr::alu()),
+        2 => Just(Instr::alu_dep()),
+        2 => Just(Instr::load_streaming()),
+        1 => (1u32..64).prop_map(|lines| Instr::Mem(MemInstr {
+            is_load: true,
+            pattern: AddressPattern::WorkingSet { lines },
+            accesses: 2,
+            space: MemSpace::Global,
+        })),
+        1 => Just(Instr::Mem(MemInstr {
+            is_load: false,
+            pattern: AddressPattern::Streaming,
+            accesses: 1,
+            space: MemSpace::Global,
+        })),
+        1 => Just(Instr::Sync),
+    ]
+}
+
+fn arb_kernel() -> impl Strategy<Value = KernelSpec> {
+    (
+        proptest::collection::vec(arb_instr(), 1..8),
+        1u32..20,     // iterations
+        1usize..5,    // warps per block
+        1usize..5,    // max blocks
+        1u64..20,     // grid blocks
+    )
+        .prop_map(|(body, iters, w_cta, max_blocks, grid)| {
+            KernelSpec::new(
+                "prop",
+                KernelCategory::Unsaturated,
+                w_cta,
+                max_blocks,
+                vec![Invocation {
+                    grid_blocks: grid,
+                    program: Arc::new(Program::new(vec![Segment::new(body, iters)])),
+                }],
+            )
+        })
+}
+
+/// Dynamic instructions that consume issue slots (barriers do not).
+fn issued_instrs(kernel: &KernelSpec) -> u64 {
+    kernel
+        .invocations()
+        .iter()
+        .map(|inv| {
+            let per_warp: u64 = inv
+                .program
+                .segments()
+                .iter()
+                .map(|seg| {
+                    let non_sync = seg
+                        .body
+                        .iter()
+                        .filter(|i| !matches!(i, Instr::Sync))
+                        .count() as u64;
+                    non_sync * u64::from(seg.iterations)
+                })
+                .sum();
+            per_warp * inv.grid_blocks * kernel.warps_per_block() as u64
+        })
+        .sum()
+}
+
+fn small_config() -> GpuConfig {
+    let mut c = GpuConfig::gtx480();
+    c.num_sms = 2;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every random kernel terminates and issues exactly its dynamic
+    /// instruction count.
+    #[test]
+    fn random_kernels_terminate_and_conserve_instructions(kernel in arb_kernel()) {
+        let stats = simulate(&small_config(), &kernel, &mut StaticGovernor)
+            .expect("kernel must terminate");
+        prop_assert_eq!(stats.instructions(), issued_instrs(&kernel));
+        prop_assert!(stats.wall_time_fs > 0);
+    }
+
+    /// Throttling concurrency never deadlocks and never changes the work.
+    #[test]
+    fn fixed_block_throttling_conserves_work(kernel in arb_kernel(), blocks in 1usize..4) {
+        let stats = simulate(&small_config(), &kernel, &mut FixedBlocksGovernor::new(blocks))
+            .expect("throttled kernel must terminate");
+        prop_assert_eq!(stats.instructions(), issued_instrs(&kernel));
+    }
+
+    /// Energy is positive and equals the sum of its components for any run.
+    #[test]
+    fn energy_is_positive_and_additive(kernel in arb_kernel()) {
+        let stats = simulate(&small_config(), &kernel, &mut StaticGovernor).expect("run");
+        let e = PowerModel::gtx480().energy(&stats);
+        prop_assert!(e.total_j() > 0.0);
+        let sum = e.leakage_j + e.sm_dynamic_j + e.sm_clock_j
+            + e.mem_dynamic_j + e.mem_clock_j + e.dram_standby_j;
+        prop_assert!((e.total_j() - sum).abs() < 1e-12);
+        prop_assert!(e.leakage_j > 0.0, "leakage accrues with wall time");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Algorithm 1 output is always within bounds: block delta in
+    /// {-1, 0, +1} and actions only from the defined pair.
+    #[test]
+    fn decision_is_always_bounded(
+        active in 0u64..49,
+        waiting in 0u64..49,
+        xalu in 0u64..49,
+        xmem in 0u64..49,
+        w_cta in 1usize..25,
+    ) {
+        let samples = 32;
+        let c = WarpStateCounters {
+            samples,
+            active: active * samples,
+            waiting: waiting * samples,
+            excess_alu: xalu * samples,
+            excess_mem: xmem * samples,
+            ..WarpStateCounters::default()
+        };
+        let p = decide(&c, w_cta);
+        prop_assert!((-1..=1).contains(&p.block_delta));
+        // Block reductions happen only under heavy memory contention.
+        if p.block_delta < 0 {
+            prop_assert!(xmem as f64 > w_cta as f64);
+            prop_assert_eq!(p.action, Some(Action::Mem));
+        }
+        // Block increases only when most warps wait.
+        if p.block_delta > 0 {
+            prop_assert!(waiting as f64 > active as f64 / 2.0);
+        }
+    }
+
+    /// Table I never boosts in energy mode and never throttles in
+    /// performance mode.
+    #[test]
+    fn table_i_is_mode_consistent(comp in proptest::bool::ANY) {
+        let action = if comp { Action::Comp } else { Action::Mem };
+        let e = table_i_votes(Mode::Energy, Some(action));
+        for v in [e.sm, e.mem] {
+            prop_assert_ne!(v, equalizer_core::Vote::Up, "energy mode never boosts");
+        }
+        let p = table_i_votes(Mode::Performance, Some(action));
+        for v in [p.sm, p.mem] {
+            prop_assert_ne!(v, equalizer_core::Vote::Down, "performance mode never throttles");
+        }
+    }
+}

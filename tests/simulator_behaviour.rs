@@ -1,0 +1,212 @@
+//! Integration tests of simulator mechanisms that only show up at the
+//! whole-GPU level: VF transitions mid-run, texture-path semantics,
+//! pause/unpause with in-flight memory, and the CCWS hook.
+
+use std::sync::Arc;
+
+use equalizer_baselines::with_ccws;
+use equalizer_sim::ccws::CcwsConfig;
+use equalizer_sim::governor::{
+    EpochContext, EpochDecision, Governor, SmEpochReport, StaticGovernor, VfRequest,
+};
+use equalizer_sim::gpu::simulate;
+use equalizer_sim::kernel::{Invocation, KernelCategory, KernelSpec};
+use equalizer_sim::prelude::*;
+
+fn small_config() -> GpuConfig {
+    let mut c = GpuConfig::gtx480();
+    c.num_sms = 2;
+    c
+}
+
+fn alu_kernel(blocks: u64, iters: u32) -> KernelSpec {
+    KernelSpec::new(
+        "itest-alu",
+        KernelCategory::Compute,
+        4,
+        8,
+        vec![Invocation {
+            grid_blocks: blocks,
+            program: Arc::new(Program::new(vec![Segment::new(
+                vec![Instr::alu(), Instr::alu_dep()],
+                iters,
+            )])),
+        }],
+    )
+}
+
+/// A governor that requests one SM-domain step up at its first epoch.
+#[derive(Debug, Default)]
+struct BoostOnce {
+    done: bool,
+}
+
+impl Governor for BoostOnce {
+    fn name(&self) -> &str {
+        "boost-once"
+    }
+    fn epoch(&mut self, _ctx: &EpochContext, reports: &[SmEpochReport]) -> EpochDecision {
+        let mut d = EpochDecision::maintain(reports.len());
+        if !self.done {
+            d.sm_vf = VfRequest::Increase;
+            self.done = true;
+        }
+        d
+    }
+}
+
+#[test]
+fn vf_transition_mid_run_changes_residency_and_speed() {
+    let config = small_config();
+    let kernel = alu_kernel(64, 3000);
+    let base = simulate(&config, &kernel, &mut StaticGovernor).unwrap();
+    let boosted = simulate(&config, &kernel, &mut BoostOnce::default()).unwrap();
+    // The boost applies after the first epoch + VRM delay, so the run ends
+    // with time spent at both nominal and high.
+    assert!(boosted.sm_time_at[1] > 0, "some time at nominal");
+    assert!(boosted.sm_time_at[2] > 0, "some time at high");
+    assert!(
+        boosted.wall_time_fs < base.wall_time_fs,
+        "a compute kernel must finish sooner once boosted"
+    );
+    // Instructions are conserved across the transition.
+    assert_eq!(base.instructions(), boosted.instructions());
+}
+
+#[test]
+fn texture_loads_complete_and_count_no_l1_traffic() {
+    let config = small_config();
+    let kernel = KernelSpec::new(
+        "itest-tex",
+        KernelCategory::Memory,
+        4,
+        4,
+        vec![Invocation {
+            grid_blocks: 8,
+            program: Arc::new(Program::new(vec![Segment::new(
+                vec![
+                    Instr::Mem(MemInstr {
+                        is_load: true,
+                        pattern: AddressPattern::Streaming,
+                        accesses: 1,
+                        space: MemSpace::Texture,
+                    }),
+                    Instr::alu(),
+                ],
+                50,
+            )])),
+        }],
+    );
+    let stats = simulate(&config, &kernel, &mut StaticGovernor).unwrap();
+    let l1_accesses: u64 = stats.sm_events.iter().map(|e| e.l1_accesses).sum();
+    assert_eq!(l1_accesses, 0, "texture path bypasses the L1 data cache");
+    assert!(stats.dram_accesses() > 0, "texture traffic still reaches DRAM");
+    assert_eq!(stats.instructions(), 8 * 4 * 2 * 50);
+}
+
+#[test]
+fn pausing_with_inflight_loads_is_safe() {
+    // Throttle hard on a memory kernel: paused blocks hold in-flight
+    // loads; everything must still drain and complete.
+    let config = small_config();
+    let kernel = KernelSpec::new(
+        "itest-pause",
+        KernelCategory::Memory,
+        4,
+        8,
+        vec![Invocation {
+            grid_blocks: 32,
+            program: Arc::new(Program::new(vec![Segment::new(
+                vec![Instr::load_streaming(), Instr::alu_dep()],
+                60,
+            )])),
+        }],
+    );
+    let stats = simulate(
+        &config,
+        &kernel,
+        &mut equalizer_sim::governor::FixedBlocksGovernor::new(1),
+    )
+    .unwrap();
+    assert_eq!(stats.instructions(), 32 * 4 * 2 * 60);
+}
+
+#[test]
+fn barriers_work_under_throttling() {
+    let config = small_config();
+    let kernel = KernelSpec::new(
+        "itest-sync",
+        KernelCategory::Compute,
+        6,
+        8,
+        vec![Invocation {
+            grid_blocks: 16,
+            program: Arc::new(Program::new(vec![Segment::new(
+                vec![Instr::alu_dep(), Instr::Sync, Instr::load_streaming(), Instr::Sync],
+                30,
+            )])),
+        }],
+    );
+    let stats = simulate(
+        &config,
+        &kernel,
+        &mut equalizer_sim::governor::FixedBlocksGovernor::new(2),
+    )
+    .unwrap();
+    assert_eq!(stats.instructions(), 16 * 6 * 2 * 30, "barriers issue nothing");
+}
+
+#[test]
+fn ccws_throttles_thrashing_workloads() {
+    // Full 15-SM configuration: the combined footprint must overwhelm the
+    // shared L2 for thrashing to cost real bandwidth.
+    let config = GpuConfig::gtx480();
+    let kernel = KernelSpec::new(
+        "itest-ccws",
+        KernelCategory::Cache,
+        8,
+        6,
+        vec![Invocation {
+            grid_blocks: 180,
+            program: Arc::new(Program::new(vec![Segment::new(
+                vec![
+                    Instr::Mem(MemInstr {
+                        is_load: true,
+                        pattern: AddressPattern::WorkingSet { lines: 24 },
+                        accesses: 6,
+                        space: MemSpace::Global,
+                    }),
+                    Instr::alu(),
+                ],
+                260,
+            )])),
+        }],
+    );
+    let base = simulate(&config, &kernel, &mut StaticGovernor).unwrap();
+    let ccws_cfg = with_ccws(config, CcwsConfig::default());
+    let ccws = simulate(&ccws_cfg, &kernel, &mut StaticGovernor).unwrap();
+    assert!(
+        ccws.l1_hit_rate() > base.l1_hit_rate(),
+        "CCWS must recover locality (base {:.3}, ccws {:.3})",
+        base.l1_hit_rate(),
+        ccws.l1_hit_rate()
+    );
+    assert!(
+        ccws.wall_time_fs < base.wall_time_fs,
+        "recovered locality must translate into speed"
+    );
+}
+
+#[test]
+fn epoch_timeline_is_monotonic_and_complete() {
+    let config = small_config();
+    let kernel = alu_kernel(64, 2000);
+    let stats = simulate(&config, &kernel, &mut StaticGovernor).unwrap();
+    assert!(!stats.epochs.is_empty());
+    for pair in stats.epochs.windows(2) {
+        assert!(pair[0].end_fs < pair[1].end_fs, "epoch times increase");
+        assert!(pair[0].epoch_index < pair[1].epoch_index);
+    }
+    let last = stats.epochs.last().unwrap();
+    assert!(last.end_fs <= stats.wall_time_fs);
+}

@@ -12,9 +12,9 @@
 //! where DynCTA stays throttled after the kernel leaves its cache-
 //! contended phase. It also controls no frequencies.
 
-use equalizer_sim::governor::{EpochContext, EpochDecision, Governor, SmEpochReport};
 #[cfg(test)]
 use equalizer_sim::governor::VfRequest;
+use equalizer_sim::governor::{EpochContext, EpochDecision, Governor, SmEpochReport};
 
 /// DynCTA's thresholds.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -15,7 +15,13 @@ fn main() {
 
     println!("\n=== Figure 4: state of the warps (fractions of resident warps) ===\n");
     let mut t = TextTable::new([
-        "kernel", "cat", "issued", "waiting", "excess-mem", "excess-alu", "others",
+        "kernel",
+        "cat",
+        "issued",
+        "waiting",
+        "excess-mem",
+        "excess-alu",
+        "others",
     ]);
     for r in &rows {
         t.row([
@@ -31,12 +37,9 @@ fn main() {
     println!("{t}");
 
     // Category-level check of the paper's three observations.
-    let mean = |cat: KernelCategory, f: &dyn Fn(&equalizer_harness::figures::WarpStateRow) -> f64| {
-        let of: Vec<f64> = rows
-            .iter()
-            .filter(|r| r.category == cat)
-            .map(f)
-            .collect();
+    let mean = |cat: KernelCategory,
+                f: &dyn Fn(&equalizer_harness::figures::WarpStateRow) -> f64| {
+        let of: Vec<f64> = rows.iter().filter(|r| r.category == cat).map(f).collect();
         of.iter().sum::<f64>() / of.len().max(1) as f64
     };
     println!("Category means:");

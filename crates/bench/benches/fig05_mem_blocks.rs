@@ -17,7 +17,10 @@ fn main() {
     for (kernel, speedups) in &rows {
         let mut row = vec![kernel.clone()];
         row.extend(speedups.iter().map(|s| format!("{s:.2}")));
-        row.extend(std::iter::repeat_n("-".to_string(), max_blocks - speedups.len()));
+        row.extend(std::iter::repeat_n(
+            "-".to_string(),
+            max_blocks - speedups.len(),
+        ));
         t.row(row);
     }
     println!("{t}");

@@ -37,7 +37,8 @@ fn main() {
     println!("{t}");
 
     println!("Geometric means (speedup / energy delta):");
-    let accessors: [(&str, fn(&ModeRow) -> Comparison); 3] = [
+    type Accessor = fn(&ModeRow) -> Comparison;
+    let accessors: [(&str, Accessor); 3] = [
         ("Equalizer", |r| r.equalizer),
         ("SM boost", |r| r.sm_static),
         ("Mem boost", |r| r.mem_static),

@@ -48,7 +48,8 @@ fn main() {
     println!("{t}");
 
     println!("Geometric means (performance / energy savings):");
-    let accessors: [(&str, fn(&ModeRow) -> Comparison); 3] = [
+    type Accessor = fn(&ModeRow) -> Comparison;
+    let accessors: [(&str, Accessor); 3] = [
         ("Equalizer", |r| r.equalizer),
         ("SM low", |r| r.sm_static),
         ("Mem low", |r| r.mem_static),

@@ -11,7 +11,9 @@ fn main() {
     kernels.sort_by_key(|k| k.category());
     let rows = figure9(&runner, &kernels).expect("simulation");
 
-    println!("\n=== Figure 9: VF-state residency under Equalizer (P = performance, E = energy) ===\n");
+    println!(
+        "\n=== Figure 9: VF-state residency under Equalizer (P = performance, E = energy) ===\n"
+    );
     let mut t = TextTable::new([
         "kernel", "cat", "mode", "SM low", "SM nom", "SM high", "Mem low", "Mem nom", "Mem high",
     ]);

@@ -44,12 +44,18 @@ fn main() {
     let tl = figure11b(&runner).expect("simulation");
     println!("=== Figure 11b: spmv concurrency over time, Equalizer vs DynCTA ===\n");
     let mut t = TextTable::new([
-        "time%", "EQ warps", "EQ waiting", "DynCTA warps", "DynCTA waiting",
+        "time%",
+        "EQ warps",
+        "EQ waiting",
+        "DynCTA warps",
+        "DynCTA waiting",
     ]);
     let n = tl.equalizer.len().max(tl.dyncta.len());
     let step = (n / 32).max(1);
     for i in (0..n).step_by(step) {
-        let eq = tl.equalizer.get(i.min(tl.equalizer.len().saturating_sub(1)));
+        let eq = tl
+            .equalizer
+            .get(i.min(tl.equalizer.len().saturating_sub(1)));
         let dc = tl.dyncta.get(i.min(tl.dyncta.len().saturating_sub(1)));
         t.row([
             format!("{:.0}%", eq.or(dc).map_or(0.0, |p| p.0) * 100.0),

@@ -4,12 +4,12 @@
 //! calls out (4096-cycle epochs, 3-epoch hysteresis, coordinated control).
 
 use equalizer_core::{Equalizer, Mode};
+use equalizer_harness::TextTable;
 use equalizer_power::PowerModel;
 use equalizer_sim::config::GpuConfig;
-use equalizer_sim::gpu::{simulate, SimError};
 use equalizer_sim::governor::{Governor, StaticGovernor};
+use equalizer_sim::gpu::{simulate, SimError};
 use equalizer_sim::kernel::KernelSpec;
-use equalizer_harness::TextTable;
 use equalizer_workloads::kernel_by_name;
 
 struct Outcome {
@@ -40,12 +40,7 @@ fn main() {
     let model = PowerModel::gtx480();
 
     println!("\n=== Ablation: Equalizer design constants (performance mode) ===\n");
-    let mut t = TextTable::new([
-        "kernel",
-        "variant",
-        "speedup",
-        "energy ratio",
-    ]);
+    let mut t = TextTable::new(["kernel", "variant", "speedup", "energy ratio"]);
 
     for kernel in &kernels {
         let base_cfg = GpuConfig::gtx480();
@@ -90,8 +85,7 @@ fn main() {
             format!("{:.3}", o.speedup),
             format!("{:.3}", o.energy_ratio),
         ]);
-        let mut gov =
-            Equalizer::new(Mode::Performance, cfg.num_sms).with_frequency_control(false);
+        let mut gov = Equalizer::new(Mode::Performance, cfg.num_sms).with_frequency_control(false);
         let o = run(&cfg, kernel, &mut gov, base_time, base_energy).expect("run");
         t.row([
             kernel.name().to_string(),

@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the simulator itself: cycles/second on
+//! representative kernels and the cost of an Equalizer epoch decision.
+//!
+//! Uses the zero-dependency timing harness from `equalizer_bench::timing`
+//! instead of an external benchmark framework so the workspace builds
+//! with no network access.
+
+use equalizer_bench::timing::{bench, BenchOptions};
+use equalizer_core::{decide, Equalizer, Mode};
+use equalizer_sim::config::GpuConfig;
+use equalizer_sim::counters::WarpStateCounters;
+use equalizer_sim::governor::StaticGovernor;
+use equalizer_sim::gpu::simulate;
+use equalizer_workloads::kernel_by_name;
+use std::hint::black_box;
+
+fn main() {
+    let mut config = GpuConfig::gtx480();
+    config.num_sms = 4;
+    let sim_opts = BenchOptions {
+        warmup_iters: 1,
+        sample_iters: 5,
+    };
+
+    println!("=== simulator throughput ===");
+    for name in ["mri-q", "cfd-2", "mmer"] {
+        let kernel = kernel_by_name(name).expect("catalog kernel");
+        let r = bench(&format!("baseline/{name}"), sim_opts, || {
+            let stats = simulate(black_box(&config), black_box(&kernel), &mut StaticGovernor)
+                .expect("simulation");
+            black_box(stats.instructions())
+        });
+        println!("{r}");
+    }
+
+    let kernel = kernel_by_name("mmer").expect("catalog kernel");
+    let r = bench("equalizer/mmer", sim_opts, || {
+        let mut gov = Equalizer::new(Mode::Performance, config.num_sms);
+        let stats = simulate(black_box(&config), black_box(&kernel), &mut gov).expect("simulation");
+        black_box(stats.instructions())
+    });
+    println!("{r}");
+
+    println!("\n=== decision cost ===");
+    let counters = WarpStateCounters {
+        samples: 32,
+        active: 32 * 48,
+        waiting: 32 * 20,
+        excess_alu: 32 * 3,
+        excess_mem: 32 * 9,
+        ..WarpStateCounters::default()
+    };
+    let r = bench(
+        "algorithm1/decide",
+        BenchOptions {
+            warmup_iters: 1_000,
+            sample_iters: 100_000,
+        },
+        || black_box(decide(black_box(&counters), black_box(8))),
+    );
+    println!("{r}");
+}

@@ -19,11 +19,20 @@ fn vote_str(v: Vote) -> &'static str {
 fn main() {
     println!("\n=== Table I: actions on parameters per kernel type and objective ===\n");
     let mut t = TextTable::new([
-        "Kernel", "Objective", "SM frequency", "DRAM frequency", "Number of threads",
+        "Kernel",
+        "Objective",
+        "SM frequency",
+        "DRAM frequency",
+        "Number of threads",
     ]);
     let rows: [(&str, Action, Tendency, &str); 3] = [
         ("Compute", Action::Comp, Tendency::HeavyCompute, "Maximum"),
-        ("Memory", Action::Mem, Tendency::BandwidthSaturated, "Maximum"),
+        (
+            "Memory",
+            Action::Mem,
+            Tendency::BandwidthSaturated,
+            "Maximum",
+        ),
         ("Cache", Action::Mem, Tendency::HeavyMemory, "Optimal"),
     ];
     for (kind, action, tendency, threads) in rows {

@@ -22,18 +22,31 @@ fn main() {
 
     let rows = parallel_map(kernels, |k| {
         let base = runner.baseline(k).expect("baseline run");
-        let sm_hi = runner.run(k, System::Static(StaticPoint::SmHigh)).expect("run");
-        let sm_lo = runner.run(k, System::Static(StaticPoint::SmLow)).expect("run");
-        let mem_hi = runner.run(k, System::Static(StaticPoint::MemHigh)).expect("run");
-        let mem_lo = runner.run(k, System::Static(StaticPoint::MemLow)).expect("run");
-        let eq_p = runner.run(k, System::Equalizer(Mode::Performance)).expect("run");
+        let sm_hi = runner
+            .run(k, System::Static(StaticPoint::SmHigh))
+            .expect("run");
+        let sm_lo = runner
+            .run(k, System::Static(StaticPoint::SmLow))
+            .expect("run");
+        let mem_hi = runner
+            .run(k, System::Static(StaticPoint::MemHigh))
+            .expect("run");
+        let mem_lo = runner
+            .run(k, System::Static(StaticPoint::MemLow))
+            .expect("run");
+        let eq_p = runner
+            .run(k, System::Equalizer(Mode::Performance))
+            .expect("run");
         let eq_e = runner.run(k, System::Equalizer(Mode::Energy)).expect("run");
         let ws = &base.stats.warp_states;
         let power = base.energy_j() / base.time_s();
         (
             k.name().to_string(),
             k.category().to_string(),
-            format!("{:.0}k", base.stats.sm_cycles_at.iter().sum::<u64>() as f64 / 1e3),
+            format!(
+                "{:.0}k",
+                base.stats.sm_cycles_at.iter().sum::<u64>() as f64 / 1e3
+            ),
             format!("{:.2}", base.stats.ipc_per_sm()),
             format!("{:.2}", base.stats.l1_hit_rate()),
             format!("{:.1}", ws.avg_waiting()),
@@ -58,8 +71,8 @@ fn main() {
     });
 
     let mut t = TextTable::new([
-        "kernel", "cat", "cycles", "IPC", "L1", "wait", "Xalu", "Xmem", "power", "sm+",
-        "sm-", "mem+", "mem-", "EQ-P", "EQ-E",
+        "kernel", "cat", "cycles", "IPC", "L1", "wait", "Xalu", "Xmem", "power", "sm+", "sm-",
+        "mem+", "mem-", "EQ-P", "EQ-E",
     ]);
     for r in rows {
         t.row([

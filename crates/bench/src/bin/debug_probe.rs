@@ -16,9 +16,7 @@ fn main() {
         Some("eqb") => System::EqualizerBlocksOnly,
         Some("dyncta") => System::DynCta,
         Some("ccws") => System::Ccws,
-        Some(n) if n.parse::<usize>().is_ok() => {
-            System::FixedBlocks(n.parse().expect("checked"))
-        }
+        Some(n) if n.parse::<usize>().is_ok() => System::FixedBlocks(n.parse().expect("checked")),
         _ => System::Static(StaticPoint::Baseline),
     };
     let runner = Runner::gtx480();
@@ -52,7 +50,11 @@ fn main() {
             .map(|e| e.dram_idle_upstream_cycles)
             .sum::<u64>() as f64
             / mem_cycles as f64,
-        s.mem_events.iter().map(|e| e.icnt_occupancy_sum).sum::<u64>() as f64 / mem_cycles as f64
+        s.mem_events
+            .iter()
+            .map(|e| e.icnt_occupancy_sum)
+            .sum::<u64>() as f64
+            / mem_cycles as f64
     );
     let ws = &s.warp_states;
     println!(

@@ -1,0 +1,149 @@
+//! A minimal std-only timing harness replacing the external benchmark
+//! framework: fixed warmup, fixed sample count, and a median/min/mean
+//! summary. Deliberately simple — the figure benches care about model
+//! outputs, and the micro-benches only need coarse cycles/second numbers
+//! that work in an offline build.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Iteration counts for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOptions {
+    /// Untimed iterations run first to warm caches and branch predictors.
+    pub warmup_iters: u32,
+    /// Timed iterations; one sample is recorded per iteration.
+    pub sample_iters: u32,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            warmup_iters: 3,
+            sample_iters: 10,
+        }
+    }
+}
+
+/// Summary statistics of one benchmark run, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark label, as passed to [`bench`].
+    pub name: String,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Median sample.
+    pub median_ns: u128,
+    /// Arithmetic mean over all samples.
+    pub mean_ns: u128,
+    /// Number of timed samples.
+    pub samples: u32,
+}
+
+impl fmt::Display for BenchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<24} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+            self.name,
+            fmt_ns(self.min_ns),
+            fmt_ns(self.median_ns),
+            fmt_ns(self.mean_ns),
+            self.samples
+        )
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Times `f` and returns summary statistics.
+///
+/// Runs `opts.warmup_iters` untimed iterations, then `opts.sample_iters`
+/// timed ones. The closure's return value is dropped; use
+/// [`std::hint::black_box`] inside the closure to keep the work alive.
+pub fn bench<T>(name: &str, opts: BenchOptions, mut f: impl FnMut() -> T) -> BenchResult {
+    for _ in 0..opts.warmup_iters {
+        f();
+    }
+    let samples = opts.sample_iters.max(1);
+    let mut times: Vec<u128> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    let min_ns = times[0];
+    let median_ns = times[times.len() / 2];
+    let mean_ns = times.iter().sum::<u128>() / times.len() as u128;
+    BenchResult {
+        name: name.to_string(),
+        min_ns,
+        median_ns,
+        mean_ns,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_counts_iterations() {
+        let mut calls = 0u32;
+        let r = bench(
+            "t",
+            BenchOptions {
+                warmup_iters: 2,
+                sample_iters: 5,
+            },
+            || calls += 1,
+        );
+        assert_eq!(calls, 7);
+        assert_eq!(r.samples, 5);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= times_upper(&r));
+    }
+
+    fn times_upper(r: &BenchResult) -> u128 {
+        // mean can legitimately sit anywhere between min and max; this
+        // only guards against unit mix-ups.
+        r.mean_ns.max(r.median_ns) + 1
+    }
+
+    #[test]
+    fn zero_samples_clamped_to_one() {
+        let r = bench(
+            "z",
+            BenchOptions {
+                warmup_iters: 0,
+                sample_iters: 0,
+            },
+            || {},
+        );
+        assert_eq!(r.samples, 1);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let r = BenchResult {
+            name: "x".into(),
+            min_ns: 1_500,
+            median_ns: 2_000_000,
+            mean_ns: 3_000_000_000,
+            samples: 3,
+        };
+        let s = r.to_string();
+        assert!(s.contains("us") && s.contains("ms") && s.contains(" s"));
+    }
+}

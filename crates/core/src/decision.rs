@@ -172,7 +172,11 @@ mod tests {
     fn bandwidth_saturation_threshold_is_two() {
         let t = detect(&avg(48.0, 30.0, 1.0, 3.0), 8);
         assert_eq!(t, Tendency::BandwidthSaturated);
-        assert_eq!(propose(t).block_delta, 0, "must not under-subscribe bandwidth");
+        assert_eq!(
+            propose(t).block_delta,
+            0,
+            "must not under-subscribe bandwidth"
+        );
         // Exactly 2 is NOT saturation (strict inequality).
         let t = detect(&avg(48.0, 30.0, 1.0, 2.0), 8);
         assert_ne!(t, Tendency::BandwidthSaturated);
@@ -215,7 +219,10 @@ mod tests {
     #[test]
     fn thresholds_scale_with_w_cta() {
         // nALU = 10 is heavy for W_cta = 8 but not for W_cta = 16.
-        assert_eq!(detect(&avg(48.0, 10.0, 10.0, 0.0), 8), Tendency::HeavyCompute);
+        assert_eq!(
+            detect(&avg(48.0, 10.0, 10.0, 0.0), 8),
+            Tendency::HeavyCompute
+        );
         assert_ne!(
             detect(&avg(48.0, 10.0, 10.0, 0.0), 16),
             Tendency::HeavyCompute
@@ -224,10 +231,12 @@ mod tests {
 
     #[test]
     fn decide_composes_detect_and_propose() {
-        let mut c = WarpStateCounters::default();
-        c.samples = 32;
-        c.excess_mem = 32 * 12; // avg 12 > W_cta 8
-        c.active = 32 * 48;
+        let c = WarpStateCounters {
+            samples: 32,
+            excess_mem: 32 * 12, // avg 12 > W_cta 8
+            active: 32 * 48,
+            ..WarpStateCounters::default()
+        };
         let p = decide(&c, 8);
         assert_eq!(p.block_delta, -1);
         assert_eq!(p.tendency, Some(Tendency::HeavyMemory));

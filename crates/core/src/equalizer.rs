@@ -7,9 +7,7 @@
 //! propose the same direction, which filters out the spurious warp-state
 //! transients the decision itself induces.
 
-use equalizer_sim::governor::{
-    EpochContext, EpochDecision, Governor, SmEpochReport, VfRequest,
-};
+use equalizer_sim::governor::{EpochContext, EpochDecision, Governor, SmEpochReport, VfRequest};
 use equalizer_sim::kernel::KernelSpec;
 
 use crate::decision::{decide, SmProposal, Tendency};
@@ -129,7 +127,10 @@ impl Equalizer {
         resident_limit: usize,
         hysteresis: u32,
     ) -> usize {
-        let base = state.target.unwrap_or(current_target).clamp(1, resident_limit);
+        let base = state
+            .target
+            .unwrap_or(current_target)
+            .clamp(1, resident_limit);
         let dir = proposal.block_delta.signum();
         if dir == 0 {
             state.pending_dir = 0;
@@ -313,7 +314,11 @@ mod tests {
             );
         }
         let d = eq.epoch(&c, &[report(0, 6, counters_mem_heavy(8))]);
-        assert_eq!(d.target_blocks[0], Some(5), "third epoch applies the change");
+        assert_eq!(
+            d.target_blocks[0],
+            Some(5),
+            "third epoch applies the change"
+        );
     }
 
     #[test]
@@ -356,7 +361,9 @@ mod tests {
     fn energy_mode_throttles_sm_for_memory() {
         let mut eq = Equalizer::new(Mode::Energy, 2);
         let c = ctx(8, 6);
-        let reports: Vec<_> = (0..2).map(|i| report(i, 6, counters_mem_heavy(8))).collect();
+        let reports: Vec<_> = (0..2)
+            .map(|i| report(i, 6, counters_mem_heavy(8)))
+            .collect();
         let d = eq.epoch(&c, &reports);
         assert_eq!(d.sm_vf, VfRequest::Decrease);
         assert_eq!(d.mem_vf, VfRequest::Maintain);

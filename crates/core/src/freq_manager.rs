@@ -90,7 +90,10 @@ mod tests {
     #[test]
     fn saturated_levels_hold() {
         assert_eq!(tally(vec![Vote::Up; 4], VfLevel::High), VfRequest::Maintain);
-        assert_eq!(tally(vec![Vote::Down; 4], VfLevel::Low), VfRequest::Maintain);
+        assert_eq!(
+            tally(vec![Vote::Down; 4], VfLevel::Low),
+            VfRequest::Maintain
+        );
     }
 
     #[test]
@@ -105,6 +108,9 @@ mod tests {
 
     #[test]
     fn empty_votes_maintain() {
-        assert_eq!(tally(std::iter::empty(), VfLevel::Nominal), VfRequest::Maintain);
+        assert_eq!(
+            tally(std::iter::empty(), VfLevel::Nominal),
+            VfRequest::Maintain
+        );
     }
 }

@@ -161,9 +161,7 @@ impl Runner {
                 let (c, g) = ccws_baseline(self.config.clone());
                 (c, Box::new(g))
             }
-            System::FixedBlocks(n) => {
-                (self.config.clone(), Box::new(FixedBlocksGovernor::new(n)))
-            }
+            System::FixedBlocks(n) => (self.config.clone(), Box::new(FixedBlocksGovernor::new(n))),
         };
         let stats = simulate_with(&config, kernel, governor.as_mut(), self.options)?;
         let energy = self.model.energy(&stats);

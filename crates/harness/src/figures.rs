@@ -146,19 +146,34 @@ impl Bfs2Study {
     /// Total runtime at a static block count, normalised to the maximum-
     /// blocks configuration (the paper normalises to 3 blocks).
     pub fn total_normalised(&self, idx: usize) -> f64 {
-        let base: f64 = self.per_invocation_s.last().expect("non-empty").iter().sum();
+        let base: f64 = self
+            .per_invocation_s
+            .last()
+            .expect("non-empty")
+            .iter()
+            .sum();
         self.per_invocation_s[idx].iter().sum::<f64>() / base
     }
 
     /// Normalised total of the per-invocation oracle.
     pub fn optimal_normalised(&self) -> f64 {
-        let base: f64 = self.per_invocation_s.last().expect("non-empty").iter().sum();
+        let base: f64 = self
+            .per_invocation_s
+            .last()
+            .expect("non-empty")
+            .iter()
+            .sum();
         self.optimal_s.iter().sum::<f64>() / base
     }
 
     /// Normalised total for the Equalizer run.
     pub fn equalizer_normalised(&self) -> f64 {
-        let base: f64 = self.per_invocation_s.last().expect("non-empty").iter().sum();
+        let base: f64 = self
+            .per_invocation_s
+            .last()
+            .expect("non-empty")
+            .iter()
+            .sum();
         self.equalizer_s.iter().sum::<f64>() / base
     }
 }
@@ -181,9 +196,13 @@ pub fn figure2a_11a(runner: &Runner) -> Result<Bfs2Study, SimError> {
     });
     for r in runs {
         let m = r?;
-        study
-            .per_invocation_s
-            .push(m.stats.invocations.iter().map(|i| i.wall_fs as f64 / 1e15).collect());
+        study.per_invocation_s.push(
+            m.stats
+                .invocations
+                .iter()
+                .map(|i| i.wall_fs as f64 / 1e15)
+                .collect(),
+        );
     }
     let n_inv = study.per_invocation_s[0].len();
     study.optimal_s = (0..n_inv)
@@ -318,10 +337,7 @@ pub fn figure5(runner: &Runner) -> Result<Vec<(String, Vec<f64>)>, SimError> {
             times.push(m.time_s());
         }
         let t1 = times[0];
-        Ok((
-            k.name().to_string(),
-            times.iter().map(|t| t1 / t).collect(),
-        ))
+        Ok((k.name().to_string(), times.iter().map(|t| t1 / t).collect()))
     });
     rows.into_iter().collect()
 }
@@ -556,7 +572,11 @@ mod tests {
         assert_eq!(rows.len(), 2);
         for row in rows {
             let sum = row.issued + row.waiting + row.excess_mem + row.excess_alu + row.others;
-            assert!((sum - 1.0).abs() < 0.05, "{}: fractions sum to {sum}", row.kernel);
+            assert!(
+                (sum - 1.0).abs() < 0.05,
+                "{}: fractions sum to {sum}",
+                row.kernel
+            );
         }
     }
 

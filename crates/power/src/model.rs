@@ -105,12 +105,38 @@ impl PowerModel {
 
             // --- Memory domain ---
             let me = &stats.mem_events[i];
-            out.mem_dynamic_j += (me.l2_accesses as f64 * p.e_l2_j
-                + me.dram_accesses as f64 * p.e_dram_j)
-                * v2;
+            out.mem_dynamic_j +=
+                (me.l2_accesses as f64 * p.e_l2_j + me.dram_accesses as f64 * p.e_dram_j) * v2;
             let mem_t = stats.mem_time_at[i] as f64 / FS_PER_SEC;
             out.mem_clock_j += p.mem_clock_w * v3 * mem_t;
             out.dram_standby_j += p.dram_standby_w[i] * mem_t;
+        }
+        // Sanitizer (`validate` feature): event-based accumulation can
+        // only add non-negative terms, and the leakage integral is
+        // bounded by worst-case leakage power over the whole run.
+        #[cfg(feature = "validate")]
+        {
+            for (name, j) in [
+                ("leakage", out.leakage_j),
+                ("sm_dynamic", out.sm_dynamic_j),
+                ("sm_clock", out.sm_clock_j),
+                ("mem_dynamic", out.mem_dynamic_j),
+                ("mem_clock", out.mem_clock_j),
+                ("dram_standby", out.dram_standby_j),
+            ] {
+                assert!(
+                    j >= 0.0 && j.is_finite(),
+                    "energy component {name} must be finite and non-negative, got {j}"
+                );
+            }
+            let wall_s = stats.wall_time_fs as f64 / FS_PER_SEC;
+            let v_max = VfLevel::High.factor(p.vf_step);
+            assert!(
+                out.leakage_j <= p.leakage_w * v_max * wall_s * (1.0 + 1e-9) + 1e-12,
+                "leakage energy inconsistent with wall time: {} J over {} s",
+                out.leakage_j,
+                wall_s
+            );
         }
         out
     }
@@ -128,11 +154,7 @@ impl PowerModel {
 
 /// Energy efficiency of `run` relative to `baseline`, as the paper defines
 /// it: `E_baseline / E_run` (higher is better, 1.0 at parity).
-pub fn energy_efficiency(
-    model: &PowerModel,
-    baseline: &RunStats,
-    run: &RunStats,
-) -> f64 {
+pub fn energy_efficiency(model: &PowerModel, baseline: &RunStats, run: &RunStats) -> f64 {
     let eb = model.energy(baseline).total_j();
     let er = model.energy(run).total_j();
     if er <= 0.0 {
@@ -191,7 +213,10 @@ mod tests {
         let run = synthetic_run(0, 0);
         let model = PowerModel::gtx480();
         let e = model.energy(&run);
-        assert!((e.leakage_j - 41.9).abs() < 1e-9, "1 s at nominal => 41.9 J");
+        assert!(
+            (e.leakage_j - 41.9).abs() < 1e-9,
+            "1 s at nominal => 41.9 J"
+        );
     }
 
     #[test]

@@ -94,10 +94,23 @@ impl DomainClock {
     /// time. Applies any pending VF transition whose time has come.
     pub fn tick(&mut self) -> Femtos {
         let now = self.next_tick;
+        // Sanitizer: simulated time is strictly monotonic within a domain
+        // and the cycle counter can only move forward. A zero or negative
+        // period (possible only through a corrupted ClockConfig) would
+        // freeze the event loop while cycle counts keep climbing.
+        crate::validate_assert!(
+            now > self.last_account || self.cycles == 0,
+            "clock domain time went non-monotonic: tick at {now} after {}",
+            self.last_account
+        );
         self.cycles += 1;
         self.cycles_at[self.level.index()] += 1;
         self.time_at[self.level.index()] += now - self.last_account;
         self.last_account = now;
+        crate::validate_assert!(
+            self.cycles_at.iter().sum::<u64>() == self.cycles,
+            "per-level cycle residency out of sync with the cycle counter"
+        );
 
         if let Some((target, apply_at)) = self.pending {
             if now >= apply_at {
@@ -105,7 +118,9 @@ impl DomainClock {
                 self.pending = None;
             }
         }
-        self.next_tick = now + self.config.period_fs(self.level);
+        let period = self.config.period_fs(self.level);
+        crate::validate_assert!(period > 0, "clock period must be positive");
+        self.next_tick = now + period;
         now
     }
 }

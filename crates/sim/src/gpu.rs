@@ -153,11 +153,14 @@ pub fn simulate_with(
             // Advance the domain with the earliest next tick; ties go to
             // the memory system so responses are in place before SMs
             // consume them.
+            // `validate()` guarantees at least one SM, hence one clock;
+            // Femtos::MAX would stall the loop rather than panic if that
+            // invariant ever broke.
             let min_sm_tick = sm_clocks
                 .iter()
                 .map(DomainClock::next_tick)
                 .min()
-                .expect("at least one SM clock");
+                .unwrap_or(Femtos::MAX);
             if mem_clock.next_tick() <= min_sm_tick {
                 let t = mem_clock.tick();
                 now = now.max(t);
@@ -246,10 +249,13 @@ pub fn simulate_with(
             }
 
             // Termination check for this invocation.
-            if gwde.drained()
-                && sms.iter().all(|s| !s.busy() && s.quiescent())
-                && mem.quiescent()
-            {
+            if gwde.drained() && sms.iter().all(|s| !s.busy() && s.quiescent()) && mem.quiescent() {
+                // Sanitizer: every MSHR, LSU queue and local-hit queue
+                // must be empty once an invocation completes.
+                #[cfg(feature = "validate")]
+                for sm in &sms {
+                    sm.validate_drained();
+                }
                 break;
             }
             let max_cycles = sm_clocks.iter().map(DomainClock::cycles).max().unwrap_or(0);
@@ -486,8 +492,8 @@ mod tests {
             max_cycles_per_invocation: 50,
             record_epochs: false,
         };
-        let err = simulate_with(&small_config(), &alu_kernel(64), &mut StaticGovernor, opts)
-            .unwrap_err();
+        let err =
+            simulate_with(&small_config(), &alu_kernel(64), &mut StaticGovernor, opts).unwrap_err();
         assert!(matches!(err, SimError::CycleLimit { .. }));
     }
 

@@ -80,11 +80,14 @@ impl KernelSpec {
     ) -> Self {
         assert!(warps_per_block > 0, "warps_per_block must be positive");
         assert!(max_blocks_per_sm > 0, "max_blocks_per_sm must be positive");
-        assert!(!invocations.is_empty(), "kernel needs at least one invocation");
+        assert!(
+            !invocations.is_empty(),
+            "kernel needs at least one invocation"
+        );
         let name = name.into();
-        let seed = name.bytes().fold(0xCAFE_F00Du64, |acc, b| {
-            acc.rotate_left(7) ^ u64::from(b)
-        });
+        let seed = name
+            .bytes()
+            .fold(0xCAFE_F00Du64, |acc, b| acc.rotate_left(7) ^ u64::from(b));
         Self {
             name,
             category,
@@ -159,9 +162,7 @@ impl KernelSpec {
     pub fn total_warp_instrs(&self) -> u64 {
         self.invocations
             .iter()
-            .map(|inv| {
-                inv.program.dynamic_instrs() * inv.grid_blocks * self.warps_per_block as u64
-            })
+            .map(|inv| inv.program.dynamic_instrs() * inv.grid_blocks * self.warps_per_block as u64)
             .sum()
     }
 }

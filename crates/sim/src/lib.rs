@@ -38,8 +38,36 @@
 //! # Ok::<(), equalizer_sim::gpu::SimError>(())
 //! ```
 
+// Compiler-enforced backstop for the `no-unwrap` lint rule: library
+// code in this crate must not contain panicking escape hatches.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+/// Asserts a simulator invariant when the `validate` cargo feature is
+/// enabled; compiles to nothing otherwise.
+///
+/// Unlike `debug_assert!`, the checks stay active in release builds as
+/// long as the feature is on, so `cargo test --release --features
+/// validate` is a true sanitizer run.
+#[cfg(feature = "validate")]
+#[macro_export]
+macro_rules! validate_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts a simulator invariant when the `validate` cargo feature is
+/// enabled; compiles to nothing otherwise.
+#[cfg(not(feature = "validate"))]
+#[macro_export]
+macro_rules! validate_assert {
+    ($($arg:tt)*) => {};
+}
+
+/// True when the `validate` sanitizer feature is compiled in — lets
+/// integration tests assert the feature actually reached this crate
+/// through the workspace's feature forwarding.
+pub const VALIDATE_ENABLED: bool = cfg!(feature = "validate");
 
 pub mod cache;
 pub mod ccws;
@@ -62,8 +90,8 @@ pub mod prelude {
     pub use crate::config::{CacheConfig, ClockConfig, Femtos, GpuConfig, VfLevel};
     pub use crate::counters::{WarpState, WarpStateCounters};
     pub use crate::governor::{
-        EpochContext, EpochDecision, FixedBlocksGovernor, Governor, SmEpochReport,
-        StaticGovernor, VfRequest,
+        EpochContext, EpochDecision, FixedBlocksGovernor, Governor, SmEpochReport, StaticGovernor,
+        VfRequest,
     };
     pub use crate::gpu::{simulate, simulate_with, SimError, SimOptions};
     pub use crate::kernel::{Invocation, KernelCategory, KernelSpec};

@@ -115,7 +115,10 @@ impl MemSystem {
             assert!(self.tex.len() < self.tex_cap, "texture queue overflow");
             self.tex.push_back(req);
         } else {
-            assert!(self.icnt.len() < self.icnt_cap, "interconnect queue overflow");
+            assert!(
+                self.icnt.len() < self.icnt_cap,
+                "interconnect queue overflow"
+            );
             self.icnt.push_back(req);
         }
     }
@@ -161,7 +164,9 @@ impl MemSystem {
         self.credit = (self.credit + self.bytes_per_cycle).min(self.line_bytes * 4);
         let mut serviced = false;
         while self.credit >= self.line_bytes {
-            let Some(req) = self.dram.pop_front() else { break };
+            let Some(req) = self.dram.pop_front() else {
+                break;
+            };
             self.credit -= self.line_bytes;
             serviced = true;
             stats.dram_accesses += 1;

@@ -123,8 +123,7 @@ impl Segment {
 }
 
 /// Distribution of per-block work, for modelling load imbalance.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum IterProfile {
     /// Every block executes the nominal iteration counts.
     #[default]
@@ -139,7 +138,6 @@ pub enum IterProfile {
         multiplier: f32,
     },
 }
-
 
 impl IterProfile {
     /// Iteration multiplier for a given global block index.
@@ -175,7 +173,10 @@ impl Program {
     ///
     /// Panics if `segments` is empty.
     pub fn new(segments: Vec<Segment>) -> Self {
-        assert!(!segments.is_empty(), "program must have at least one segment");
+        assert!(
+            !segments.is_empty(),
+            "program must have at least one segment"
+        );
         Self {
             segments,
             iter_profile: IterProfile::Uniform,
@@ -299,9 +300,9 @@ impl AddressGen {
                 // resident footprint outgrows the cache. The mix is
                 // order-independent, keeping address streams identical
                 // across scheduling variations.
-                let idx = crate::util::mix64(
-                    counter ^ (u64::from(access_idx) << 32) ^ (warp_uid << 40),
-                ) % lines;
+                let idx =
+                    crate::util::mix64(counter ^ (u64::from(access_idx) << 32) ^ (warp_uid << 40))
+                        % lines;
                 warp_uid * lines + idx
             }
             AddressPattern::Shared { lines } => {

@@ -9,7 +9,7 @@
 //! warps in the `ExcessMem` state — the signal Equalizer keys on.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use crate::cache::{Cache, Lookup};
@@ -88,7 +88,10 @@ pub struct Sm {
 
     lsu: VecDeque<LsuEntry>,
     l1: Cache,
-    mshr: HashMap<u64, Vec<usize>>,
+    // Address-ordered on purpose: a hash map's iteration order is seeded
+    // per-process, which would make merge/replay order — and therefore
+    // cycle counts — vary run to run.
+    mshr: BTreeMap<u64, Vec<usize>>,
     local_ready: BinaryHeap<Reverse<(Femtos, usize)>>,
     addr_gen: AddressGen,
 
@@ -129,7 +132,7 @@ impl Sm {
             order_dirty: true,
             lsu: VecDeque::with_capacity(config.lsu_queue_cap),
             l1: Cache::new(config.l1),
-            mshr: HashMap::new(),
+            mshr: BTreeMap::new(),
             local_ready: BinaryHeap::new(),
             addr_gen: AddressGen::new(config.l1.line_bytes, id as u64),
             target_blocks: 1,
@@ -152,7 +155,12 @@ impl Sm {
     }
 
     /// Prepares the SM for a new kernel invocation.
-    pub fn begin_invocation(&mut self, kernel: &KernelSpec, invocation: usize, program: Arc<Program>) {
+    pub fn begin_invocation(
+        &mut self,
+        kernel: &KernelSpec,
+        invocation: usize,
+        program: Arc<Program>,
+    ) {
         self.w_cta = kernel.warps_per_block();
         self.resident_limit = kernel.resident_block_limit(self.max_block_slots_hw, self.max_warps);
         self.program = Some(program);
@@ -179,11 +187,7 @@ impl Sm {
 
     /// Number of unpaused resident blocks.
     pub fn active_blocks(&self) -> usize {
-        self.blocks
-            .iter()
-            .flatten()
-            .filter(|b| !b.paused)
-            .count()
+        self.blocks.iter().flatten().filter(|b| !b.paused).count()
     }
 
     /// Number of paused resident blocks.
@@ -251,13 +255,15 @@ impl Sm {
         self.target_blocks = target.clamp(1, self.resident_limit);
         // Pause youngest active blocks while above target.
         while self.active_blocks() > self.target_blocks {
-            let victim = self
+            let Some(victim) = self
                 .blocks
                 .iter_mut()
                 .flatten()
                 .filter(|b| !b.paused)
                 .max_by_key(|b| b.launch_seq)
-                .expect("active_blocks > 0");
+            else {
+                break;
+            };
             victim.paused = true;
             self.order_dirty = true;
         }
@@ -281,8 +287,12 @@ impl Sm {
                 self.order_dirty = true;
                 continue;
             }
-            let Some(slot) = self.free_block_slot() else { break };
-            let Some(block_index) = gwde.dispatch() else { break };
+            let Some(slot) = self.free_block_slot() else {
+                break;
+            };
+            let Some(block_index) = gwde.dispatch() else {
+                break;
+            };
             self.launch_block(slot, block_index);
         }
     }
@@ -315,7 +325,8 @@ impl Sm {
 
     fn rebuild_order(&mut self) {
         self.sched_order.clear();
-        let mut blocks: Vec<&BlockState> = self.blocks.iter().flatten().filter(|b| !b.paused).collect();
+        let mut blocks: Vec<&BlockState> =
+            self.blocks.iter().flatten().filter(|b| !b.paused).collect();
         blocks.sort_by_key(|b| b.launch_seq);
         for b in blocks {
             self.sched_order.extend_from_slice(&b.warp_slots);
@@ -392,9 +403,15 @@ impl Sm {
         let mut issued_alu = 0usize;
         let mut issued_mem = 0usize;
 
+        // No program means no resident warps; the scheduler walk below is
+        // then a no-op, so skipping it keeps the statistics identical.
+        let program = self.program.clone();
         for oi in 0..self.sched_order.len() {
+            let Some(program) = program.as_deref() else {
+                break;
+            };
             let ws = self.sched_order[oi];
-            let Some(warp) = self.warps[ws].as_ref() else {
+            let Some(warp) = self.warps[ws].as_mut() else {
                 continue;
             };
             if warp.finished || warp.at_barrier {
@@ -402,7 +419,7 @@ impl Sm {
                 continue;
             }
             if warp.stagger > 0 {
-                self.warps[ws].as_mut().expect("warp exists").stagger -= 1;
+                warp.stagger -= 1;
                 snap.record(WarpState::Waiting);
                 continue;
             }
@@ -410,31 +427,28 @@ impl Sm {
                 snap.record(WarpState::Waiting);
                 continue;
             }
-            let program = self.program.as_ref().expect("program set").clone();
             let block_index = warp.block_index;
-            let instr = *warp
-                .pc
-                .fetch(&program, block_index)
-                .expect("unfinished warp has an instruction");
+            let Some(&instr) = warp.pc.fetch(program, block_index) else {
+                crate::validate_assert!(false, "unfinished warp has no instruction");
+                snap.record(WarpState::Others);
+                continue;
+            };
             match instr {
                 Instr::Alu { dep } => {
                     if issued_total < self.issue_width && issued_alu < self.max_alu_issue {
                         issued_total += 1;
                         issued_alu += 1;
+                        let alu_ready = now + Femtos::from(self.alu_latency) * period_fs;
+                        if dep {
+                            warp.ready_at = alu_ready;
+                        }
+                        let finished = !warp.pc.advance(program, block_index);
+                        if finished {
+                            warp.finished = true;
+                        }
+                        let block_slot = warp.block_slot;
                         self.events[li].issued += 1;
                         self.events[li].alu_ops += 1;
-                        let alu_ready = now + Femtos::from(self.alu_latency) * period_fs;
-                        let (finished, block_slot) = {
-                            let warp = self.warps[ws].as_mut().expect("warp exists");
-                            if dep {
-                                warp.ready_at = alu_ready;
-                            }
-                            let fin = !warp.pc.advance(&program, block_index);
-                            if fin {
-                                warp.finished = true;
-                            }
-                            (fin, warp.block_slot)
-                        };
                         if finished {
                             self.check_block_done(block_slot, &mut completed_blocks);
                         }
@@ -444,10 +458,7 @@ impl Sm {
                     }
                 }
                 Instr::Mem(mi) => {
-                    let ccws_ok = self
-                        .ccws
-                        .as_ref()
-                        .is_none_or(|c| c.may_issue_mem(ws));
+                    let ccws_ok = self.ccws.as_ref().is_none_or(|c| c.may_issue_mem(ws));
                     if ccws_ok
                         && issued_total < self.issue_width
                         && issued_mem < self.max_mem_issue
@@ -455,21 +466,18 @@ impl Sm {
                     {
                         issued_total += 1;
                         issued_mem += 1;
+                        let counter = warp.mem_counter;
+                        warp.mem_counter += 1;
+                        if mi.is_load {
+                            warp.pending_loads += u32::from(mi.accesses);
+                        }
+                        let finished = !warp.pc.advance(program, block_index);
+                        if finished {
+                            warp.finished = true;
+                        }
+                        let (block_slot, uid) = (warp.block_slot, warp.uid);
                         self.events[li].issued += 1;
                         self.events[li].mem_instrs += 1;
-                        let (finished, block_slot, counter, uid) = {
-                            let warp = self.warps[ws].as_mut().expect("warp exists");
-                            let counter = warp.mem_counter;
-                            warp.mem_counter += 1;
-                            if mi.is_load {
-                                warp.pending_loads += u32::from(mi.accesses);
-                            }
-                            let fin = !warp.pc.advance(&program, block_index);
-                            if fin {
-                                warp.finished = true;
-                            }
-                            (fin, warp.block_slot, counter, warp.uid)
-                        };
                         self.lsu.push_back(LsuEntry {
                             warp_slot: ws,
                             warp_uid: uid,
@@ -486,16 +494,13 @@ impl Sm {
                     }
                 }
                 Instr::Sync => {
-                    let (finished, block_slot) = {
-                        let warp = self.warps[ws].as_mut().expect("warp exists");
-                        let fin = !warp.pc.advance(&program, block_index);
-                        if fin {
-                            warp.finished = true;
-                        } else {
-                            warp.at_barrier = true;
-                        }
-                        (fin, warp.block_slot)
-                    };
+                    let finished = !warp.pc.advance(program, block_index);
+                    if finished {
+                        warp.finished = true;
+                    } else {
+                        warp.at_barrier = true;
+                    }
+                    let block_slot = warp.block_slot;
                     if finished {
                         self.check_block_done(block_slot, &mut completed_blocks);
                     } else {
@@ -536,6 +541,13 @@ impl Sm {
     fn deliver_load(&mut self, ws: usize, completed: &mut Vec<usize>) {
         let (drained, slot) = {
             let Some(w) = self.warps[ws].as_mut() else {
+                // Blocks only retire once every warp's loads have drained,
+                // so a response must never land on a vacated slot.
+                crate::validate_assert!(
+                    false,
+                    "load response for vacated warp slot {ws} on SM {}",
+                    self.id
+                );
                 return;
             };
             w.complete_load();
@@ -624,12 +636,42 @@ impl Sm {
         };
 
         if progressed {
-            let head = self.lsu.front_mut().expect("head exists");
-            head.next_access += 1;
-            if head.next_access >= u32::from(head.instr.accesses) {
-                self.lsu.pop_front();
+            if let Some(head) = self.lsu.front_mut() {
+                head.next_access += 1;
+                if head.next_access >= u32::from(head.instr.accesses) {
+                    self.lsu.pop_front();
+                }
             }
         }
+    }
+
+    /// Sanitizer hook (`validate` feature): asserts that the SM holds no
+    /// in-flight memory state. Called at kernel-invocation completion —
+    /// an MSHR entry, queued LSU access or pending local hit surviving
+    /// the drain would alias a reused warp slot in the next invocation.
+    #[cfg(feature = "validate")]
+    pub fn validate_drained(&self) {
+        assert!(
+            self.mshr.is_empty(),
+            "SM {}: {} MSHR entries survived kernel completion",
+            self.id,
+            self.mshr.len()
+        );
+        assert!(
+            self.lsu.is_empty(),
+            "SM {}: LSU queue not drained at kernel completion",
+            self.id
+        );
+        assert!(
+            self.local_ready.is_empty(),
+            "SM {}: local-hit queue not drained at kernel completion",
+            self.id
+        );
+        assert!(
+            self.warps.iter().all(Option::is_none),
+            "SM {}: resident warps survived kernel completion",
+            self.id
+        );
     }
 
     fn maybe_release_barrier(&mut self, block_slot: usize) {
@@ -735,7 +777,11 @@ mod tests {
         run_to_completion(&mut sm, &mut mem, &mut gwde, 1_000_000);
         assert_eq!(sm.blocks_completed(), 6);
         let issued: u64 = sm.events().iter().map(|e| e.issued).sum();
-        assert_eq!(issued, 6 * 4 * 3 * 10, "every instruction issued exactly once");
+        assert_eq!(
+            issued,
+            6 * 4 * 3 * 10,
+            "every instruction issued exactly once"
+        );
     }
 
     #[test]
@@ -829,7 +875,11 @@ mod tests {
         sm.fill(&mut gwde);
         sm.set_target_blocks(2);
         run_to_completion(&mut sm, &mut mem, &mut gwde, 1_000_000);
-        assert_eq!(sm.blocks_completed(), 8, "paused blocks must still complete");
+        assert_eq!(
+            sm.blocks_completed(),
+            8,
+            "paused blocks must still complete"
+        );
     }
 
     #[test]
@@ -846,10 +896,7 @@ mod tests {
             8,
             vec![crate::kernel::Invocation {
                 grid_blocks: 8,
-                program: Arc::new(Program::new(vec![Segment::new(
-                    vec![Instr::alu(); 8],
-                    200,
-                )])),
+                program: Arc::new(Program::new(vec![Segment::new(vec![Instr::alu(); 8], 200)])),
             }],
         );
         sm.begin_invocation(&k, 0, k.invocations()[0].program.clone());
@@ -982,7 +1029,13 @@ mod tests {
         sm.fill(&mut gwde);
         for i in 1..=256u64 {
             mem.step(i * 1_000_000, VfLevel::Nominal, 1_000_000);
-            sm.cycle(i * 1_000_000, VfLevel::Nominal, 1_000_000, &mut mem, &mut gwde);
+            sm.cycle(
+                i * 1_000_000,
+                VfLevel::Nominal,
+                1_000_000,
+                &mut mem,
+                &mut gwde,
+            );
         }
         let e = sm.take_epoch();
         assert_eq!(e.cycles, 256);

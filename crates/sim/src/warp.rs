@@ -68,7 +68,15 @@ impl Warp {
 
     /// Delivers one returned load line.
     pub fn complete_load(&mut self) {
+        // Sanitizer: the scoreboard must never release a register it did
+        // not set — a completion with no pending load means a response was
+        // double-delivered or aliased onto a reused warp slot.
         debug_assert!(self.pending_loads > 0, "spurious load completion");
+        crate::validate_assert!(
+            self.pending_loads > 0,
+            "scoreboard release without a pending load (warp uid {})",
+            self.uid
+        );
         self.pending_loads = self.pending_loads.saturating_sub(1);
     }
 }

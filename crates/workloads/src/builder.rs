@@ -71,7 +71,9 @@ pub fn alu_run(n: u32, dep_every: u32) -> Vec<Instr> {
 /// Grid size for `waves` full-GPU waves of a kernel with the given
 /// per-SM resident-block count.
 pub fn grid_for(blocks_per_sm: usize, waves: f64) -> u64 {
-    ((DEFAULT_NUM_SMS * blocks_per_sm as u64) as f64 * waves).round().max(1.0) as u64
+    ((DEFAULT_NUM_SMS * blocks_per_sm as u64) as f64 * waves)
+        .round()
+        .max(1.0) as u64
 }
 
 /// Parameters for a compute-intensive kernel.
@@ -368,8 +370,16 @@ mod tests {
     fn compute_kernel_is_alu_dominated() {
         let k = compute_kernel("c", 6, 8, 1.0, ComputeParams::default());
         let seg = &k.invocations()[0].program.segments()[0];
-        let alu = seg.body.iter().filter(|i| matches!(i, Instr::Alu { .. })).count();
-        let mem = seg.body.iter().filter(|i| matches!(i, Instr::Mem(_))).count();
+        let alu = seg
+            .body
+            .iter()
+            .filter(|i| matches!(i, Instr::Alu { .. }))
+            .count();
+        let mem = seg
+            .body
+            .iter()
+            .filter(|i| matches!(i, Instr::Mem(_)))
+            .count();
         assert!(alu > 20 * mem);
         assert_eq!(k.category(), KernelCategory::Compute);
     }
@@ -378,7 +388,11 @@ mod tests {
     fn memory_kernel_is_load_dominated() {
         let k = memory_kernel("m", 16, 3, 1.0, MemoryParams::default());
         let seg = &k.invocations()[0].program.segments()[0];
-        let mem = seg.body.iter().filter(|i| matches!(i, Instr::Mem(_))).count();
+        let mem = seg
+            .body
+            .iter()
+            .filter(|i| matches!(i, Instr::Mem(_)))
+            .count();
         assert_eq!(mem, 1);
         assert!(seg.body.len() <= 4, "loads every few instructions");
     }

@@ -99,8 +99,19 @@ pub fn short_name(app: &str, id: u32) -> String {
     };
     let single = matches!(
         app,
-        "bfs" | "cutcp" | "kmeans" | "lavaMD" | "lbm" | "mri-q" | "mummer" | "pathfinder"
-            | "sad" | "sgemm" | "sc" | "spmv" | "stencil"
+        "bfs"
+            | "cutcp"
+            | "kmeans"
+            | "lavaMD"
+            | "lbm"
+            | "mri-q"
+            | "mummer"
+            | "pathfinder"
+            | "sad"
+            | "sgemm"
+            | "sc"
+            | "spmv"
+            | "stencil"
     );
     if single {
         abbrev.to_string()

@@ -27,10 +27,9 @@ pub mod builder;
 pub mod catalog;
 
 pub use builder::{
-    cache_kernel, compute_kernel, memory_kernel, unsaturated_kernel, with_long_tail,
-    CacheParams, ComputeParams, MemoryParams, UnsatPhase,
+    cache_kernel, compute_kernel, memory_kernel, unsaturated_kernel, with_long_tail, CacheParams,
+    ComputeParams, MemoryParams, UnsatPhase,
 };
 pub use catalog::{
-    bfs2, kernel_by_name, kernels_by_category, short_name, table_ii_kernels, TableIiRow,
-    TABLE_II,
+    bfs2, kernel_by_name, kernels_by_category, short_name, table_ii_kernels, TableIiRow, TABLE_II,
 };

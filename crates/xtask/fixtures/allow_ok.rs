@@ -1,0 +1,8 @@
+//! Fixture: a well-formed `lint: allow` escape hatch suppresses its
+//! rule — this file must produce zero findings and one suppression.
+
+/// Parses a literal that is known-good at compile time.
+pub fn golden() -> u32 {
+    // lint: allow(no-unwrap) -- literal is valid by construction
+    "42".parse().unwrap()
+}

@@ -1,0 +1,12 @@
+//! Fixture: `no-debug-print` — stdout noise is banned in library code.
+
+/// Computes a checksum, noisily.
+pub fn checksum(xs: &[u8]) -> u32 {
+    let mut acc = 0u32;
+    for &x in xs {
+        dbg!(x); //~ no-debug-print
+        acc = acc.wrapping_add(u32::from(x));
+    }
+    println!("acc = {acc}"); //~ no-debug-print
+    acc
+}

@@ -1,0 +1,10 @@
+//! Fixture: `no-env-read` — environment reads make runs
+//! machine-dependent; configuration must flow through SimConfig.
+
+/// Reads the SM count from the environment.
+pub fn sm_count() -> usize {
+    std::env::var("EQ_SMS") //~ no-env-read
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15)
+}

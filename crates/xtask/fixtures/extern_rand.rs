@@ -1,0 +1,9 @@
+//! Fixture: `no-extern-rand` — ambient randomness breaks replay; use
+//! the in-repo SplitMix64 generator.
+
+use rand::Rng; //~ no-extern-rand
+
+/// Draws a random backoff from the thread-local generator.
+pub fn backoff() -> u32 {
+    rand::thread_rng().gen_range(0..8) //~ no-extern-rand
+}

@@ -1,0 +1,19 @@
+//! Fixture: `no-std-hashmap` — hash containers are banned in simulator
+//! code because their iteration order is seeded per process.
+
+use std::collections::HashMap; //~ no-std-hashmap
+use std::collections::HashSet; //~ no-std-hashmap
+
+/// Histograms warp occupancy — with the wrong container.
+pub fn histogram(xs: &[u32]) -> HashMap<u32, u32> { //~ no-std-hashmap
+    let mut h = HashMap::new(); //~ no-std-hashmap
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}
+
+/// Collects distinct block ids — with the wrong container.
+pub fn distinct(xs: &[u32]) -> HashSet<u32> { //~ no-std-hashmap
+    xs.iter().copied().collect()
+}

@@ -1,0 +1,15 @@
+//! Fixture: `malformed-allow` — escape hatches need both a rule list
+//! and a `-- reason`, and the rules must exist.
+
+/// Reads a tuning knob with a reason-less suppression above it, which
+/// is flagged and does not suppress the violation below.
+pub fn knob() -> u32 {
+    // lint: allow(no-unwrap) //~ malformed-allow
+    "7".parse().unwrap() //~ no-unwrap
+}
+
+/// Another knob, suppressed with a rule that does not exist.
+pub fn knob2() -> u32 {
+    // lint: allow(no-unicorns) -- not a rule //~ malformed-allow
+    9
+}

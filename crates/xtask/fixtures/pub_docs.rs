@@ -1,0 +1,16 @@
+//! Fixture: `pub-docs` — public API must carry doc comments.
+
+pub fn undocumented() -> u32 { //~ pub-docs
+    7
+}
+
+/// Documented, so no finding here.
+pub fn documented() -> u32 {
+    9
+}
+
+pub struct Bare; //~ pub-docs
+
+/// Documented through an attribute.
+#[derive(Clone)]
+pub struct Dressed;

@@ -1,0 +1,11 @@
+//! Fixture: `no-wallclock` — wall-clock reads make replay
+//! nondeterministic; simulator code must use simulated time.
+
+use std::time::SystemTime; //~ no-wallclock
+
+/// Times a phase with the host clock instead of simulated Femtos.
+pub fn stamp() -> u128 {
+    let t0 = std::time::Instant::now(); //~ no-wallclock
+    let _ = SystemTime::now(); //~ no-wallclock
+    t0.elapsed().as_nanos()
+}

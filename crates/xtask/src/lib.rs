@@ -1,0 +1,702 @@
+//! Zero-dependency static-analysis pass for the Equalizer workspace.
+//!
+//! The simulator's headline claim is *bit-identical replay*: the same
+//! kernel at the same V/f schedule must produce the same cycle counts on
+//! every run. The classic ways that property rots are hash-order
+//! iteration, wall-clock reads, ambient randomness and environment
+//! sniffing — none of which a type checker catches. This crate is a
+//! token-level linter (no `syn`, no `rustc` plumbing, pure `std`) that
+//! bans those constructs from the simulation crates, plus a handful of
+//! robustness and hygiene rules for the rest of the tree.
+//!
+//! Rules:
+//!
+//! | rule             | what it flags                                     | where |
+//! |------------------|---------------------------------------------------|-------|
+//! | `no-std-hashmap` | `HashMap`/`HashSet` (seeded iteration order)      | strict crates, lib code |
+//! | `no-wallclock`   | `Instant::now`, `SystemTime`                      | strict crates, lib code |
+//! | `no-extern-rand` | `thread_rng`, `rand::` (use `util::SplitMix64`)   | strict crates, lib code |
+//! | `no-env-read`    | `std::env`, `env::var`                            | strict crates, lib code |
+//! | `no-unwrap`      | `.unwrap()`, `.expect(`, `panic!`                 | strict crates, lib code |
+//! | `pub-docs`       | undocumented `pub` items                          | docs crates, lib code |
+//! | `no-debug-print` | `dbg!`, `println!`, `print!`                      | all lib code |
+//! | `tagged-todo`    | to-do markers without an issue tag like `(#7)`    | everywhere |
+//! | `malformed-allow`| escape hatch missing rules, reason, or rule typo  | everywhere |
+//!
+//! Strict crates are `crates/sim`, `crates/core` and `crates/power`;
+//! docs crates are `crates/sim` and `crates/core`. `#[cfg(test)]`
+//! regions and `tests/`/`benches/`/`examples/` trees are exempt from
+//! everything except `tagged-todo` and `malformed-allow`.
+//!
+//! The escape hatch is a regular comment:
+//!
+//! ```text
+//! // lint: allow(no-unwrap, no-wallclock) -- reason the ban is safe here
+//! ```
+//!
+//! It covers its own line and the one below it, requires a non-empty
+//! reason after `--`, and every suppression is counted and reported so
+//! exemptions stay visible.
+
+pub mod scan;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use scan::Scanned;
+
+/// Every rule the linter knows, in reporting order.
+pub const RULES: &[&str] = &[
+    "no-std-hashmap",
+    "no-wallclock",
+    "no-extern-rand",
+    "no-env-read",
+    "no-unwrap",
+    "pub-docs",
+    "no-debug-print",
+    "tagged-todo",
+    "malformed-allow",
+];
+
+/// Crates whose library code gets the determinism + robustness rules.
+pub const STRICT_CRATES: &[&str] = &["sim", "core", "power"];
+
+/// Crates whose public library items must carry doc comments.
+pub const DOCS_CRATES: &[&str] = &["sim", "core"];
+
+/// Banned tokens for the determinism and robustness rules, with the
+/// message shown when one fires. Matching is token-boundary aware on the
+/// comment-and-string-stripped code view.
+const BANNED: &[(&str, &str, &str)] = &[
+    (
+        "no-std-hashmap",
+        "HashMap",
+        "hash-map iteration order is seeded per process; use BTreeMap",
+    ),
+    (
+        "no-std-hashmap",
+        "HashSet",
+        "hash-set iteration order is seeded per process; use BTreeSet",
+    ),
+    (
+        "no-wallclock",
+        "Instant::now",
+        "wall-clock reads make replay nondeterministic; use simulated Femtos time",
+    ),
+    (
+        "no-wallclock",
+        "SystemTime",
+        "wall-clock reads make replay nondeterministic; use simulated Femtos time",
+    ),
+    (
+        "no-extern-rand",
+        "thread_rng",
+        "ambient randomness breaks replay; use equalizer_sim::util::SplitMix64",
+    ),
+    (
+        "no-extern-rand",
+        "rand::",
+        "the rand crate is banned; use equalizer_sim::util::SplitMix64",
+    ),
+    (
+        "no-extern-rand",
+        "use rand",
+        "the rand crate is banned; use equalizer_sim::util::SplitMix64",
+    ),
+    (
+        "no-env-read",
+        "std::env",
+        "environment reads make runs machine-dependent; thread configuration through SimConfig",
+    ),
+    (
+        "no-env-read",
+        "env::var",
+        "environment reads make runs machine-dependent; thread configuration through SimConfig",
+    ),
+    (
+        "no-unwrap",
+        ".unwrap()",
+        "library code must not panic on bad input; return a Result or handle the None arm",
+    ),
+    (
+        "no-unwrap",
+        ".expect(",
+        "library code must not panic on bad input; return a Result or handle the None arm",
+    ),
+    (
+        "no-unwrap",
+        "panic!",
+        "library code must not panic; return a Result (assert!/validate_assert! are the sanctioned checks)",
+    ),
+    (
+        "no-debug-print",
+        "dbg!",
+        "debug printing does not belong in library code",
+    ),
+    (
+        "no-debug-print",
+        "println!",
+        "stdout printing belongs in binaries, not library code",
+    ),
+    (
+        "no-debug-print",
+        "print!",
+        "stdout printing belongs in binaries, not library code",
+    ),
+];
+
+/// What part of a crate a file belongs to, which decides rule coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeKind {
+    /// `src/` code compiled into the library target.
+    Lib,
+    /// `src/main.rs`, `src/bin/`, `build.rs` — binary/build code.
+    Bin,
+    /// `tests/`, `benches/`, `examples/` — test-only code.
+    Test,
+}
+
+/// Which rule families apply to a file.
+#[derive(Debug, Clone, Copy)]
+pub struct FileContext {
+    /// Determinism + robustness rules apply (sim/core/power lib code).
+    pub strict: bool,
+    /// `pub-docs` applies (sim/core lib code).
+    pub docs_required: bool,
+    /// Library, binary or test code.
+    pub kind: CodeKind,
+}
+
+impl FileContext {
+    /// The harshest profile — used for explicitly named paths such as
+    /// the lint fixtures, so every rule is exercised.
+    pub fn strictest() -> Self {
+        Self {
+            strict: true,
+            docs_required: true,
+            kind: CodeKind::Lib,
+        }
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// File the violation is in (workspace-relative when walking).
+    pub file: PathBuf,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// One violation silenced by a well-formed `lint: allow` directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule that would have fired.
+    pub rule: &'static str,
+    /// File containing the directive.
+    pub file: PathBuf,
+    /// 1-indexed line of the silenced violation.
+    pub line: usize,
+    /// The justification given after `--`.
+    pub reason: String,
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations, in file/line order.
+    pub findings: Vec<Finding>,
+    /// Violations silenced by escape hatches, for the summary.
+    pub suppressed: Vec<Suppression>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when no findings survived (suppressions do not count
+    /// against cleanliness — they are reported, not fatal).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    fn absorb(&mut self, mut other: Report) {
+        self.findings.append(&mut other.findings);
+        self.suppressed.append(&mut other.suppressed);
+        self.files_scanned += other.files_scanned;
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Token-boundary-aware substring search on a stripped code line.
+fn has_token(code: &str, token: &str) -> bool {
+    let first_is_ident = token.chars().next().is_some_and(is_ident_char);
+    let last_is_ident = token.chars().last().is_some_and(is_ident_char);
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let at = start + pos;
+        let end = at + token.len();
+        let pre_ok = !first_is_ident || !code[..at].chars().next_back().is_some_and(is_ident_char);
+        let post_ok = !last_is_ident || !code[end..].chars().next().is_some_and(is_ident_char);
+        if pre_ok && post_ok {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+/// Checks a to-do marker for an issue tag: the keyword must be followed
+/// by `(<non-empty>)`.
+fn todo_is_tagged(comment: &str, at: usize, keyword_len: usize) -> bool {
+    let rest = comment[at + keyword_len..].trim_start();
+    let Some(tail) = rest.strip_prefix('(') else {
+        return false;
+    };
+    match tail.find(')') {
+        Some(close) => !tail[..close].trim().is_empty(),
+        None => false,
+    }
+}
+
+fn untagged_todo(comment: &str) -> Option<&'static str> {
+    for keyword in ["TODO", "FIXME"] {
+        let mut start = 0;
+        while let Some(pos) = comment[start..].find(keyword) {
+            let at = start + pos;
+            let pre_ok = !comment[..at].chars().next_back().is_some_and(is_ident_char);
+            let post = comment[at + keyword.len()..].chars().next();
+            let post_ok = !post.is_some_and(is_ident_char);
+            if pre_ok && post_ok && !todo_is_tagged(comment, at, keyword.len()) {
+                return Some(keyword);
+            }
+            start = at + keyword.len();
+        }
+    }
+    None
+}
+
+/// The item keyword of a `pub` declaration needing docs, if any.
+fn pub_item_keyword(code: &str) -> Option<&'static str> {
+    let t = code.trim_start();
+    // Restricted visibility (`pub(crate)` etc.) is not public API.
+    let rest = t.strip_prefix("pub ")?;
+    for word in rest.split_whitespace().take(4) {
+        match word {
+            // Out-of-line `pub mod x;` and re-exports carry their docs
+            // elsewhere (module header / original item).
+            "use" | "mod" => return None,
+            "fn" => return Some("fn"),
+            "struct" => return Some("struct"),
+            "enum" => return Some("enum"),
+            "trait" => return Some("trait"),
+            "type" => return Some("type"),
+            "const" => return Some("const"),
+            "static" => return Some("static"),
+            "union" => return Some("union"),
+            "unsafe" | "async" | "extern" | "\"C\"" => continue,
+            // A struct field or anything else.
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Walks upward from the item line looking for an adjacent doc comment,
+/// skipping attribute lines and regular comments.
+fn has_doc_above(scanned: &Scanned, item_idx: usize) -> bool {
+    let mut j = item_idx;
+    while j > 0 {
+        j -= 1;
+        let prev = &scanned.lines[j];
+        if prev.is_doc {
+            return true;
+        }
+        let code = prev.code.trim();
+        let comment_only = code.is_empty() && !prev.comment.trim().is_empty();
+        let attribute = code.starts_with("#[") || code.starts_with("#!") || code.ends_with(")]");
+        if comment_only || attribute {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Lints one file's source under the given context. `file` is only used
+/// to label findings.
+pub fn lint_source(file: &Path, source: &str, ctx: FileContext) -> Report {
+    let scanned = scan::scan(source);
+    let mut report = Report {
+        files_scanned: 1,
+        ..Report::default()
+    };
+
+    // Escape-hatch hygiene first: malformed directives and typo'd rule
+    // names are findings themselves and never suppress anything.
+    for allow in &scanned.allows {
+        if allow.malformed {
+            report.findings.push(Finding {
+                rule: "malformed-allow",
+                file: file.to_path_buf(),
+                line: allow.line,
+                message: "allow directive needs `allow(<rules>) -- <reason>` with both parts"
+                    .to_string(),
+            });
+            continue;
+        }
+        for rule in &allow.rules {
+            if !RULES.contains(&rule.as_str()) {
+                report.findings.push(Finding {
+                    rule: "malformed-allow",
+                    file: file.to_path_buf(),
+                    line: allow.line,
+                    message: format!("allow directive names unknown rule `{rule}`"),
+                });
+            }
+        }
+    }
+
+    let mut candidates: Vec<(usize, &'static str, String)> = Vec::new();
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        let ln = idx + 1;
+
+        // Hygiene: to-do markers need tags everywhere, even in tests.
+        if let Some(keyword) = untagged_todo(&line.comment) {
+            candidates.push((
+                ln,
+                "tagged-todo",
+                format!("{keyword} needs an issue tag, e.g. `{keyword}(#123): ...`"),
+            ));
+        }
+
+        if line.in_test || ctx.kind == CodeKind::Test {
+            continue;
+        }
+
+        for &(rule, token, message) in BANNED {
+            let applies = match rule {
+                "no-debug-print" => ctx.kind == CodeKind::Lib,
+                _ => ctx.strict && ctx.kind == CodeKind::Lib,
+            };
+            if applies && has_token(&line.code, token) {
+                candidates.push((ln, rule, format!("`{token}`: {message}")));
+            }
+        }
+
+        if ctx.docs_required && ctx.kind == CodeKind::Lib {
+            if let Some(keyword) = pub_item_keyword(&line.code) {
+                if !has_doc_above(&scanned, idx) {
+                    candidates.push((
+                        ln,
+                        "pub-docs",
+                        format!("public `{keyword}` is missing a `///` doc comment"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // One finding per (rule, line) even when several tokens match.
+    candidates.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    candidates.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+
+    for (ln, rule, message) in candidates {
+        if let Some(allow) = scanned.allow_for(rule, ln) {
+            report.suppressed.push(Suppression {
+                rule,
+                file: file.to_path_buf(),
+                line: ln,
+                reason: allow.reason.clone(),
+            });
+        } else {
+            report.findings.push(Finding {
+                rule,
+                file: file.to_path_buf(),
+                line: ln,
+                message,
+            });
+        }
+    }
+    report
+}
+
+/// Classifies a workspace-relative path into its rule coverage.
+pub fn classify(rel: &Path) -> FileContext {
+    let comps: Vec<&str> = rel
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect();
+    let (crate_name, rest) = if comps.len() >= 3 && comps[0] == "crates" {
+        (comps[1], &comps[2..])
+    } else {
+        // The root umbrella package.
+        ("", &comps[..])
+    };
+    let kind = match rest.first().copied() {
+        Some("src") => {
+            if rest.last().copied() == Some("main.rs") || rest.contains(&"bin") {
+                CodeKind::Bin
+            } else {
+                CodeKind::Lib
+            }
+        }
+        Some("tests") | Some("benches") | Some("examples") => CodeKind::Test,
+        // build.rs and anything else unrecognised: treat as binary code
+        // (hygiene rules only).
+        _ => CodeKind::Bin,
+    };
+    FileContext {
+        strict: STRICT_CRATES.contains(&crate_name),
+        docs_required: DOCS_CRATES.contains(&crate_name),
+        kind,
+    }
+}
+
+fn collect_rs_files(dir: &Path, skip_special: bool, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            let skipped =
+                name.starts_with('.') || (skip_special && (name == "target" || name == "fixtures"));
+            if !skipped {
+                collect_rs_files(&path, skip_special, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file in the workspace rooted at `root`, applying
+/// per-crate rule coverage. Skips `target/`, dot-directories and the
+/// lint fixtures.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, true, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let source = fs::read_to_string(&path)?;
+        report.absorb(lint_source(&rel, &source, classify(&rel)));
+    }
+    Ok(report)
+}
+
+/// Lints explicitly named files or directories under the strictest
+/// profile (every rule applies). This is how the fixtures are checked.
+pub fn lint_paths(paths: &[PathBuf]) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs_files(path, false, &mut files)?;
+        } else {
+            files.push(path.clone());
+        }
+    }
+    files.sort();
+    let mut report = Report::default();
+    for path in files {
+        let source = fs::read_to_string(&path)?;
+        report.absorb(lint_source(&path, &source, FileContext::strictest()));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(source: &str, ctx: FileContext) -> Report {
+        lint_source(Path::new("test.rs"), source, ctx)
+    }
+
+    fn rules_fired(report: &Report) -> Vec<&'static str> {
+        report.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn hashmap_fires_in_strict_lib_code() {
+        let r = lint_str("use std::collections::HashMap;", FileContext::strictest());
+        assert_eq!(rules_fired(&r), vec!["no-std-hashmap"]);
+    }
+
+    #[test]
+    fn hashmap_in_string_or_comment_is_fine() {
+        let r = lint_str(
+            "// HashMap is banned\nlet s = \"HashMap\";",
+            FileContext::strictest(),
+        );
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn hashmap_ignored_outside_strict_crates() {
+        let ctx = FileContext {
+            strict: false,
+            docs_required: false,
+            kind: CodeKind::Lib,
+        };
+        let r = lint_str("use std::collections::HashMap;", ctx);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        let r = lint_str(src, FileContext::strictest());
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn unwrap_and_expect_fire() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\nfn g(x: Option<u32>) -> u32 { x.expect(\"gone\") }\n";
+        let r = lint_str(src, FileContext::strictest());
+        assert_eq!(rules_fired(&r), vec!["no-unwrap", "no-unwrap"]);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let r = lint_str(
+            "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }",
+            FileContext::strictest(),
+        );
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn operand_is_not_rand() {
+        let r = lint_str("let operand::Kind { .. } = k;", FileContext::strictest());
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn allow_suppresses_and_is_counted() {
+        let src = "// lint: allow(no-unwrap) -- input validated above\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let r = lint_str(src, FileContext::strictest());
+        assert!(r.is_clean(), "{:?}", r.findings);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].rule, "no-unwrap");
+        assert_eq!(r.suppressed[0].reason, "input validated above");
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed_and_inert() {
+        let src = "// lint: allow(no-unwrap)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let r = lint_str(src, FileContext::strictest());
+        let mut rules = rules_fired(&r);
+        rules.sort_unstable();
+        assert_eq!(rules, vec!["malformed-allow", "no-unwrap"]);
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_flagged() {
+        let src = "// lint: allow(no-unicorns) -- oops\nlet x = 1;\n";
+        let r = lint_str(src, FileContext::strictest());
+        assert_eq!(rules_fired(&r), vec!["malformed-allow"]);
+    }
+
+    #[test]
+    fn pub_docs_requires_doc_comment() {
+        let src = "pub fn naked() {}\n\n/// Documented.\npub fn dressed() {}\n";
+        let r = lint_str(src, FileContext::strictest());
+        assert_eq!(rules_fired(&r), vec!["pub-docs"]);
+        assert_eq!(r.findings[0].line, 1);
+    }
+
+    #[test]
+    fn pub_docs_sees_through_attributes() {
+        let src = "/// Documented.\n#[derive(Debug, Clone)]\npub struct S;\n";
+        let r = lint_str(src, FileContext::strictest());
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn pub_use_and_fields_are_not_items() {
+        let src =
+            "/// Docs.\npub struct S {\n    pub field: u32,\n}\npub use std::cmp::Ordering;\n";
+        let r = lint_str(src, FileContext::strictest());
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn todo_needs_tag_even_in_tests() {
+        let ctx = FileContext {
+            strict: false,
+            docs_required: false,
+            kind: CodeKind::Test,
+        };
+        let r = lint_str("// TODO: someday\n// TODO(#5): tracked\n", ctx);
+        assert_eq!(rules_fired(&r), vec!["tagged-todo"]);
+        assert_eq!(r.findings[0].line, 1);
+    }
+
+    #[test]
+    fn debug_print_fires_in_any_lib_code() {
+        let ctx = FileContext {
+            strict: false,
+            docs_required: false,
+            kind: CodeKind::Lib,
+        };
+        let r = lint_str("fn f() { println!(\"hi\"); }", ctx);
+        assert_eq!(rules_fired(&r), vec!["no-debug-print"]);
+    }
+
+    #[test]
+    fn debug_print_ignored_in_bin_code() {
+        let ctx = FileContext {
+            strict: false,
+            docs_required: false,
+            kind: CodeKind::Bin,
+        };
+        let r = lint_str("fn main() { println!(\"hi\"); }", ctx);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn classify_maps_crates_and_kinds() {
+        let sim = classify(Path::new("crates/sim/src/sm.rs"));
+        assert!(sim.strict && sim.docs_required);
+        assert_eq!(sim.kind, CodeKind::Lib);
+
+        let power = classify(Path::new("crates/power/src/model.rs"));
+        assert!(power.strict && !power.docs_required);
+
+        let bench = classify(Path::new("crates/bench/benches/perf_micro.rs"));
+        assert!(!bench.strict);
+        assert_eq!(bench.kind, CodeKind::Test);
+
+        let bin = classify(Path::new("crates/harness/src/main.rs"));
+        assert_eq!(bin.kind, CodeKind::Bin);
+
+        let root_test = classify(Path::new("tests/determinism.rs"));
+        assert!(!root_test.strict);
+        assert_eq!(root_test.kind, CodeKind::Test);
+    }
+}

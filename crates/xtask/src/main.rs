@@ -1,0 +1,141 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! Subcommands:
+//!
+//! * `cargo xtask lint [paths...]` — run the determinism/robustness/
+//!   hygiene lint suite. With no paths, lints the whole workspace with
+//!   per-crate rule coverage; explicit paths are linted under the
+//!   strictest profile. Exits non-zero when findings survive.
+//! * `cargo xtask ci` — the offline CI driver: release build, test
+//!   suite, `validate`-feature test suite, the lint pass, and a
+//!   formatting check (skipped with a warning when rustfmt is absent).
+
+use std::env;
+use std::path::PathBuf;
+use std::process::{exit, Command};
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("ci") => cmd_ci(),
+        Some(other) => {
+            eprintln!("error: unknown subcommand `{other}`");
+            eprintln!("{USAGE}");
+            2
+        }
+        None => {
+            eprintln!("{USAGE}");
+            2
+        }
+    };
+    exit(code);
+}
+
+const USAGE: &str = "usage: cargo xtask <lint [paths...] | ci>";
+
+/// The workspace root, two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir
+}
+
+fn cmd_lint(paths: &[String]) -> i32 {
+    let report = if paths.is_empty() {
+        xtask::lint_workspace(&workspace_root())
+    } else {
+        xtask::lint_paths(&paths.iter().map(PathBuf::from).collect::<Vec<_>>())
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("error: lint walk failed: {err}");
+            return 2;
+        }
+    };
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if !report.suppressed.is_empty() {
+        println!("suppressed ({}):", report.suppressed.len());
+        for s in &report.suppressed {
+            println!(
+                "  {}:{}: [{}] allowed -- {}",
+                s.file.display(),
+                s.line,
+                s.rule,
+                s.reason
+            );
+        }
+    }
+    println!(
+        "lint: {} file(s) scanned, {} finding(s), {} suppressed",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed.len()
+    );
+    i32::from(!report.is_clean())
+}
+
+/// Runs one cargo step, streaming its output; returns success.
+fn run_step(cargo: &str, label: &str, args: &[&str]) -> bool {
+    println!("==> {label}: cargo {}", args.join(" "));
+    match Command::new(cargo)
+        .args(args)
+        .current_dir(workspace_root())
+        .status()
+    {
+        Ok(status) if status.success() => true,
+        Ok(status) => {
+            eprintln!("==> {label} failed: {status}");
+            false
+        }
+        Err(err) => {
+            eprintln!("==> {label} failed to start: {err}");
+            false
+        }
+    }
+}
+
+fn cmd_ci() -> i32 {
+    let cargo = env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+
+    let steps: &[(&str, &[&str])] = &[
+        ("build", &["build", "--release"]),
+        ("test", &["test", "-q"]),
+        ("test (validate)", &["test", "-q", "--features", "validate"]),
+    ];
+    for (label, args) in steps {
+        if !run_step(&cargo, label, args) {
+            return 1;
+        }
+    }
+
+    println!("==> lint: workspace scan");
+    if cmd_lint(&[]) != 0 {
+        eprintln!("==> lint failed");
+        return 1;
+    }
+
+    // rustfmt ships with rustup toolchains but not every bare cargo
+    // install; a missing formatter should not fail offline CI.
+    let fmt_available = Command::new(&cargo)
+        .args(["fmt", "--version"])
+        .current_dir(workspace_root())
+        .output()
+        .map(|out| out.status.success())
+        .unwrap_or(false);
+    if fmt_available {
+        if !run_step(&cargo, "fmt", &["fmt", "--all", "--", "--check"]) {
+            return 1;
+        }
+    } else {
+        eprintln!("==> fmt: rustfmt not installed, skipping format check");
+    }
+
+    println!("==> ci: all steps passed");
+    0
+}

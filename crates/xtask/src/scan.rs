@@ -1,0 +1,435 @@
+//! Lexical source model for the linter: a line-oriented view of one Rust
+//! file with comments and string literals separated from code, `#[cfg(test)]`
+//! regions tracked, and `// lint: allow(...)` directives parsed.
+//!
+//! This is a token scan, not a parse: it understands line/block comments
+//! (nested), plain and raw string literals, byte strings and char
+//! literals, which is enough to lint real-world Rust without a compiler
+//! front-end — and without any external crate.
+
+/// One line of a scanned file, split into views.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with comments and string-literal contents blanked out.
+    pub code: String,
+    /// Concatenated comment text on the line (without `//` / `/*`).
+    pub comment: String,
+    /// The line starts with (or is inside) a doc comment.
+    pub is_doc: bool,
+    /// The line is inside (or opens) a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// A parsed `// lint: allow(rule, ...) -- reason` directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// 1-indexed line the directive sits on.
+    pub line: usize,
+    /// Rules being suppressed.
+    pub rules: Vec<String>,
+    /// The mandatory justification after `--`.
+    pub reason: String,
+    /// The directive is missing its rule list or reason.
+    pub malformed: bool,
+}
+
+/// A scanned source file.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    /// Per-line views, 0-indexed (line 1 is `lines[0]`).
+    pub lines: Vec<Line>,
+    /// All allow directives found in the file.
+    pub allows: Vec<AllowDirective>,
+}
+
+impl Scanned {
+    /// Returns the suppression reason if `rule` is allowed on 1-indexed
+    /// `line` — a directive covers its own line and the following line.
+    pub fn allow_for(&self, rule: &str, line: usize) -> Option<&AllowDirective> {
+        self.allows.iter().find(|a| {
+            !a.malformed
+                && (a.line == line || a.line + 1 == line)
+                && a.rules.iter().any(|r| r == rule)
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment { doc: bool },
+    BlockComment { depth: usize, doc: bool },
+    Str,
+    RawStr { hashes: usize },
+}
+
+/// Scans `source` into the lexical model.
+pub fn scan(source: &str) -> Scanned {
+    let mut out = Scanned::default();
+    let mut state = State::Code;
+    // Brace depth of enclosing `#[cfg(test)]` regions; entries are the
+    // depth *outside* the region's opening brace.
+    let mut test_regions: Vec<usize> = Vec::new();
+    let mut depth: usize = 0;
+    // A `#[cfg(test)]` attribute was seen and its item not yet opened.
+    let mut test_pending = false;
+
+    for raw in source.lines() {
+        let mut line = Line {
+            in_test: !test_regions.is_empty(),
+            ..Line::default()
+        };
+        if matches!(state, State::LineComment { .. }) {
+            state = State::Code; // line comments end at the newline
+        }
+        if let State::BlockComment { doc, .. } = state {
+            line.is_doc = doc;
+        }
+
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        let doc = matches!(bytes.get(i + 2), Some('/') | Some('!'))
+                            && bytes.get(i + 3) != Some(&'/');
+                        if doc {
+                            line.is_doc = true;
+                        }
+                        state = State::LineComment { doc };
+                        i += 2;
+                        line.code.push(' ');
+                        line.code.push(' ');
+                    }
+                    '/' if next == Some('*') => {
+                        let doc = matches!(bytes.get(i + 2), Some('*') | Some('!'))
+                            && bytes.get(i + 3) != Some(&'/');
+                        if doc {
+                            line.is_doc = true;
+                        }
+                        state = State::BlockComment { depth: 1, doc };
+                        i += 2;
+                        line.code.push(' ');
+                        line.code.push(' ');
+                    }
+                    '"' => {
+                        state = State::Str;
+                        line.code.push('"');
+                        i += 1;
+                    }
+                    'r' | 'b' => {
+                        // Possible raw/byte string prefix: r", r#", br", b".
+                        let mut j = i + 1;
+                        if c == 'b' && bytes.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0usize;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        let is_raw = (c == 'r' || bytes.get(i + 1) == Some(&'r'))
+                            && bytes.get(j) == Some(&'"');
+                        let is_plain_byte =
+                            c == 'b' && hashes == 0 && bytes.get(i + 1) == Some(&'"');
+                        // Only treat as a literal prefix at a token start.
+                        let boundary =
+                            i == 0 || !(bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_');
+                        if boundary && is_raw {
+                            for _ in i..=j {
+                                line.code.push(' ');
+                            }
+                            i = j + 1;
+                            state = State::RawStr { hashes };
+                        } else if boundary && is_plain_byte {
+                            line.code.push(' ');
+                            line.code.push('"');
+                            i += 2;
+                            state = State::Str;
+                        } else {
+                            line.code.push(c);
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime. A literal is 'x' or an
+                        // escape; anything else is a lifetime and stays in
+                        // the code view.
+                        if next == Some('\\') {
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != '\'' {
+                                j += 1;
+                            }
+                            for _ in i..=j.min(bytes.len() - 1) {
+                                line.code.push(' ');
+                            }
+                            i = j + 1;
+                        } else if bytes.get(i + 2) == Some(&'\'') {
+                            line.code.push(' ');
+                            line.code.push(' ');
+                            line.code.push(' ');
+                            i += 3;
+                        } else {
+                            line.code.push(c);
+                            i += 1;
+                        }
+                    }
+                    '{' => {
+                        if test_pending {
+                            test_regions.push(depth);
+                            test_pending = false;
+                            line.in_test = true;
+                        }
+                        depth += 1;
+                        line.code.push(c);
+                        i += 1;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if test_regions.last() == Some(&depth) {
+                            test_regions.pop();
+                        }
+                        line.code.push(c);
+                        i += 1;
+                    }
+                    _ => {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                },
+                State::LineComment { .. } => {
+                    line.comment.push(c);
+                    line.code.push(' ');
+                    i += 1;
+                }
+                State::BlockComment { depth: d, doc } => {
+                    if c == '*' && next == Some('/') {
+                        if d == 1 {
+                            state = State::Code;
+                        } else {
+                            state = State::BlockComment { depth: d - 1, doc };
+                        }
+                        i += 2;
+                        line.code.push(' ');
+                        line.code.push(' ');
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment { depth: d + 1, doc };
+                        i += 2;
+                        line.code.push(' ');
+                        line.code.push(' ');
+                    } else {
+                        line.comment.push(c);
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        line.code.push(' ');
+                        line.code.push(' ');
+                        i += 2;
+                    } else if c == '"' {
+                        line.code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr { hashes } => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes {
+                            if bytes.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            for _ in 0..=hashes {
+                                line.code.push(' ');
+                            }
+                            i += 1 + hashes;
+                            state = State::Code;
+                        } else {
+                            line.code.push(' ');
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        // `#[cfg(test)]` region bookkeeping on the finished code view.
+        if line.code.contains("cfg(test)") || line.code.contains("cfg(all(test") {
+            test_pending = true;
+            line.in_test = true;
+        } else if test_pending {
+            // The attribute applied to a braceless item (`use`, `const`):
+            // the region never opens, so the flag ends with the item.
+            line.in_test = true;
+            let t = line.code.trim_end();
+            if t.ends_with(';') && !line.code.contains('{') {
+                test_pending = false;
+            }
+        }
+
+        // Directives live in regular comments only; a doc comment that
+        // *describes* the syntax must not count as one.
+        if !line.is_doc {
+            if let Some(directive) = parse_allow(&line.comment, out.lines.len() + 1) {
+                out.allows.push(directive);
+            }
+        }
+        out.lines.push(line);
+    }
+    out
+}
+
+/// Parses a `lint: allow(rule, ...) -- reason` directive from a line's
+/// comment text.
+fn parse_allow(comment: &str, line: usize) -> Option<AllowDirective> {
+    let idx = comment.find("lint: allow")?;
+    let rest = &comment[idx + "lint: allow".len()..];
+    let malformed = |d: AllowDirective| {
+        Some(AllowDirective {
+            malformed: true,
+            ..d
+        })
+    };
+    let empty = AllowDirective {
+        line,
+        rules: Vec::new(),
+        reason: String::new(),
+        malformed: false,
+    };
+    let Some(open) = rest.find('(') else {
+        return malformed(empty);
+    };
+    let Some(close) = rest.find(')') else {
+        return malformed(empty);
+    };
+    if open > close {
+        return malformed(empty);
+    }
+    let rules: Vec<String> = rest[open + 1..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let tail = &rest[close + 1..];
+    let reason = tail
+        .find("--")
+        .map(|i| tail[i + 2..].trim().to_string())
+        .unwrap_or_default();
+    let malformed = rules.is_empty() || reason.is_empty();
+    Some(AllowDirective {
+        line,
+        rules,
+        reason,
+        malformed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_blanked() {
+        let s = scan(r#"let x = "HashMap::new()";"#);
+        assert!(!s.lines[0].code.contains("HashMap"));
+        assert!(s.lines[0].code.contains("let x ="));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = scan(r##"let x = r#"panic!("boom")"#; let y = 1;"##);
+        assert!(!s.lines[0].code.contains("panic"));
+        assert!(s.lines[0].code.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn comments_split_from_code() {
+        let s = scan("let a = 1; // trailing HashMap note");
+        assert!(!s.lines[0].code.contains("HashMap"));
+        assert!(s.lines[0].comment.contains("HashMap"));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let s = scan("/* outer /* inner */ still */ let b = 2;");
+        assert!(s.lines[0].code.contains("let b = 2;"));
+        assert!(!s.lines[0].code.contains("outer"));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let s = scan("/// uses .unwrap() in an example\nfn f() {}");
+        assert!(s.lines[0].is_doc);
+        assert!(!s.lines[1].is_doc);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = scan("fn f<'a>(x: &'a str) { let c = '{'; }");
+        // The brace inside the char literal must not affect depth.
+        let code = &s.lines[0].code;
+        assert!(code.contains("<'a>"), "lifetime kept: {code}");
+        assert!(!code.contains("'{'"), "char literal blanked: {code}");
+    }
+
+    #[test]
+    fn cfg_test_region_tracked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n";
+        let s = scan(src);
+        assert!(!s.lines[0].in_test);
+        assert!(s.lines[1].in_test);
+        assert!(s.lines[2].in_test);
+        assert!(s.lines[3].in_test);
+        assert!(s.lines[4].in_test);
+        assert!(!s.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_region() {
+        let s = scan("#[cfg(not(test))]\nfn f() {}\nfn g() {}\n");
+        assert!(!s.lines[1].in_test);
+        assert!(!s.lines[2].in_test);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_region() {
+        let s = scan("#[cfg(test)]\nuse foo::bar;\nfn f() {}\n");
+        assert!(s.lines[1].in_test);
+        assert!(!s.lines[2].in_test);
+    }
+
+    #[test]
+    fn allow_directive_parsed() {
+        let s = scan("// lint: allow(no-unwrap, no-wallclock) -- fixture setup\nlet x = 1;");
+        assert_eq!(s.allows.len(), 1);
+        let a = &s.allows[0];
+        assert!(!a.malformed);
+        assert_eq!(a.rules, vec!["no-unwrap", "no-wallclock"]);
+        assert_eq!(a.reason, "fixture setup");
+        assert!(s.allow_for("no-unwrap", 1).is_some());
+        assert!(s.allow_for("no-unwrap", 2).is_some());
+        assert!(s.allow_for("no-unwrap", 3).is_none());
+        assert!(s.allow_for("pub-docs", 2).is_none());
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let s = scan("// lint: allow(no-unwrap)\nlet x = 1;");
+        assert!(s.allows[0].malformed);
+        assert!(s.allow_for("no-unwrap", 2).is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! The lint fixtures: every rule must fire exactly where the `//~`
+//! markers say it does, a well-formed `lint: allow` must suppress, and
+//! the shipped workspace must come back clean.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir
+}
+
+/// `(rule, 1-indexed line)` pairs declared by `//~ <rule>` markers.
+fn expected_markers(source: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        if let Some(pos) = line.find("//~") {
+            let rule = line[pos + 3..].trim().to_string();
+            assert!(!rule.is_empty(), "empty //~ marker on line {}", idx + 1);
+            out.push((rule, idx + 1));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn every_fixture_fires_exactly_its_markers() {
+    let dir = fixtures_dir();
+    let mut checked = 0;
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("fixtures directory exists")
+        .map(|e| e.expect("readable fixture entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 9,
+        "expected a fixture per rule, got {entries:?}"
+    );
+
+    for path in entries {
+        let source = fs::read_to_string(&path).expect("fixture is readable");
+        let expected = expected_markers(&source);
+        let report = xtask::lint_paths(std::slice::from_ref(&path)).expect("lint runs");
+        let mut actual: Vec<(String, usize)> = report
+            .findings
+            .iter()
+            .map(|f| (f.rule.to_string(), f.line))
+            .collect();
+        actual.sort();
+        assert_eq!(
+            actual,
+            expected,
+            "findings must match //~ markers in {}",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 9, "checked only {checked} fixtures");
+}
+
+#[test]
+fn every_rule_has_a_firing_fixture() {
+    let report = xtask::lint_paths(&[fixtures_dir()]).expect("lint runs");
+    let fired: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    for rule in xtask::RULES {
+        assert!(
+            fired.contains(rule),
+            "rule `{rule}` never fires on the fixture corpus"
+        );
+    }
+}
+
+#[test]
+fn allow_fixture_suppresses_instead_of_firing() {
+    let path = fixtures_dir().join("allow_ok.rs");
+    let report = xtask::lint_paths(&[path]).expect("lint runs");
+    assert!(
+        report.is_clean(),
+        "unexpected findings: {:?}",
+        report.findings
+    );
+    assert_eq!(report.suppressed.len(), 1, "the allow must be counted");
+    assert_eq!(report.suppressed[0].rule, "no-unwrap");
+    assert!(!report.suppressed[0].reason.is_empty());
+}
+
+#[test]
+fn shipped_workspace_is_lint_clean() {
+    let report = xtask::lint_workspace(&workspace_root()).expect("lint runs");
+    let mut message = String::new();
+    for finding in &report.findings {
+        message.push_str(&format!("\n  {finding}"));
+    }
+    assert!(
+        report.is_clean(),
+        "the shipped tree must pass `cargo xtask lint`:{message}"
+    );
+    assert!(
+        report.files_scanned > 40,
+        "workspace walk looks truncated: {} files",
+        report.files_scanned
+    );
+}

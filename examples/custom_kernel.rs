@@ -9,7 +9,7 @@
 //! cargo run --release --example custom_kernel
 //! ```
 
-use equalizer_core::{AveragedCounters, detect, Equalizer, Mode};
+use equalizer_core::{detect, AveragedCounters, Equalizer, Mode};
 use equalizer_power::PowerModel;
 use equalizer_sim::prelude::*;
 use std::sync::Arc;

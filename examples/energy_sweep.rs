@@ -12,7 +12,10 @@ use equalizer_harness::{pct, TextTable};
 fn main() {
     let runner = equalizer_harness::Runner::gtx480();
     let kernels = all_kernels();
-    println!("running {} kernels x 4 systems (this takes a few minutes)...", kernels.len());
+    println!(
+        "running {} kernels x 4 systems (this takes a few minutes)...",
+        kernels.len()
+    );
     let rows = figure7_8(&runner, &kernels, Mode::Energy).expect("simulation");
 
     let mut t = TextTable::new(["kernel", "category", "performance", "energy saved"]);

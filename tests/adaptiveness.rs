@@ -29,7 +29,12 @@ fn bfs2_oracle_beats_every_static_choice() {
     let n = per_static[0].len();
     assert_eq!(n, 12, "bfs-2 runs twelve invocations");
     let oracle: f64 = (0..n)
-        .map(|i| per_static.iter().map(|v| v[i]).fold(f64::INFINITY, f64::min))
+        .map(|i| {
+            per_static
+                .iter()
+                .map(|v| v[i])
+                .fold(f64::INFINITY, f64::min)
+        })
         .sum();
     for (idx, v) in per_static.iter().enumerate() {
         let total: f64 = v.iter().sum();
@@ -59,8 +64,14 @@ fn equalizer_tracks_bfs2_phase_change() {
     let r = runner();
     let k = bfs2();
     let m = r.run(&k, System::EqualizerBlocksOnly).unwrap();
-    let early = m.stats.mean_blocks_in_invocation(2).expect("epochs in inv 2");
-    let middle = m.stats.mean_blocks_in_invocation(9).expect("epochs in inv 9");
+    let early = m
+        .stats
+        .mean_blocks_in_invocation(2)
+        .expect("epochs in inv 2");
+    let middle = m
+        .stats
+        .mean_blocks_in_invocation(9)
+        .expect("epochs in inv 9");
     assert!(
         middle < early - 0.5,
         "Equalizer must shed blocks in the cache phase (early {early:.2}, middle {middle:.2})"
@@ -93,7 +104,11 @@ fn cache_baselines_all_improve_kmeans() {
     let base = r.baseline(&k).unwrap();
     let dyncta = compare(&base, &r.run(&k, System::DynCta).unwrap()).speedup;
     let ccws = compare(&base, &r.run(&k, System::Ccws).unwrap()).speedup;
-    let eq = compare(&base, &r.run(&k, System::Equalizer(Mode::Performance)).unwrap()).speedup;
+    let eq = compare(
+        &base,
+        &r.run(&k, System::Equalizer(Mode::Performance)).unwrap(),
+    )
+    .speedup;
     assert!(dyncta > 1.02, "DynCTA must help kmn (got {dyncta:.3})");
     assert!(ccws > 1.02, "CCWS must help kmn (got {ccws:.3})");
     // CCWS throttles per warp (finer than Equalizer's block granularity)

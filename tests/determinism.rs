@@ -10,22 +10,33 @@ fn assert_identical(name: &str, system: System) {
     let k = kernel_by_name(name).unwrap();
     let a = r.run(&k, system).unwrap();
     let b = r.run(&k, system).unwrap();
-    assert_eq!(a.stats.wall_time_fs, b.stats.wall_time_fs, "{name} wall time");
-    assert_eq!(a.stats.instructions(), b.stats.instructions(), "{name} instrs");
-    assert_eq!(a.stats.dram_accesses(), b.stats.dram_accesses(), "{name} dram");
+    assert_eq!(
+        a.stats.wall_time_fs, b.stats.wall_time_fs,
+        "{name} wall time"
+    );
+    assert_eq!(
+        a.stats.instructions(),
+        b.stats.instructions(),
+        "{name} instrs"
+    );
+    assert_eq!(
+        a.stats.dram_accesses(),
+        b.stats.dram_accesses(),
+        "{name} dram"
+    );
     assert_eq!(
         a.stats.sm_cycles_at, b.stats.sm_cycles_at,
         "{name} cycle residency"
     );
-    assert!(
-        (a.energy_j() - b.energy_j()).abs() < 1e-12,
-        "{name} energy"
-    );
+    assert!((a.energy_j() - b.energy_j()).abs() < 1e-12, "{name} energy");
 }
 
 #[test]
 fn baseline_runs_are_deterministic() {
-    assert_identical("mmer", System::Static(equalizer_baselines::StaticPoint::Baseline));
+    assert_identical(
+        "mmer",
+        System::Static(equalizer_baselines::StaticPoint::Baseline),
+    );
 }
 
 #[test]
@@ -37,6 +48,61 @@ fn equalizer_runs_are_deterministic() {
 fn dyncta_and_ccws_runs_are_deterministic() {
     assert_identical("mmer", System::DynCta);
     assert_identical("mmer", System::Ccws);
+}
+
+/// The regression behind the MSHR map: merge lists keyed by cache line
+/// used to live in a `HashMap`, whose per-process iteration order could
+/// reorder replay and wiggle cycle counts under heavy miss traffic. A
+/// cache-thrashing kernel maximises MSHR pressure, so replaying it twice
+/// must still be bit-identical — cycle residency *and* the warp-state
+/// histogram.
+#[test]
+fn cache_thrashing_replay_is_bit_identical() {
+    let r = Runner::gtx480();
+    // Working sets far beyond the 256-line L1, with divergent loads:
+    // every warp streams misses through the MSHRs for the whole run.
+    let k = equalizer_workloads::cache_kernel(
+        "thrash-repro",
+        8,
+        6,
+        1.0,
+        equalizer_workloads::CacheParams {
+            lines_per_warp: 96,
+            divergence: 4,
+            alu_per_load: 2,
+            alu_dep_every: 0,
+            iterations: 40,
+            waves: 2.0,
+        },
+    );
+    for system in [
+        System::Static(equalizer_baselines::StaticPoint::Baseline),
+        System::Equalizer(Mode::Energy),
+        System::Equalizer(Mode::Performance),
+    ] {
+        let a = r.run(&k, system).unwrap();
+        let b = r.run(&k, system).unwrap();
+        assert!(
+            a.stats.dram_accesses() > 0,
+            "the workload must actually thrash"
+        );
+        assert_eq!(
+            a.stats.sm_cycles_at, b.stats.sm_cycles_at,
+            "{system:?} SM cycle residency"
+        );
+        assert_eq!(
+            a.stats.mem_cycles_at, b.stats.mem_cycles_at,
+            "{system:?} memory cycle residency"
+        );
+        assert_eq!(
+            a.stats.warp_states, b.stats.warp_states,
+            "{system:?} warp-state histogram"
+        );
+        assert_eq!(
+            a.stats.wall_time_fs, b.stats.wall_time_fs,
+            "{system:?} wall time"
+        );
+    }
 }
 
 #[test]

@@ -60,7 +60,11 @@ fn lowering_the_idle_domain_saves_energy_without_performance() {
     let base = r.baseline(&k).unwrap();
     let mem_lo = r.run(&k, System::Static(StaticPoint::MemLow)).unwrap();
     let c = compare(&base, &mem_lo);
-    assert!(c.speedup > 0.97, "mem-low must not hurt compute ({:.3})", c.speedup);
+    assert!(
+        c.speedup > 0.97,
+        "mem-low must not hurt compute ({:.3})",
+        c.speedup
+    );
     assert!(c.energy_ratio < 0.99, "mem-low must save energy");
 
     // Memory kernel: SM-low saves energy at no cost.
@@ -68,8 +72,15 @@ fn lowering_the_idle_domain_saves_energy_without_performance() {
     let base = r.baseline(&k).unwrap();
     let sm_lo = r.run(&k, System::Static(StaticPoint::SmLow)).unwrap();
     let c = compare(&base, &sm_lo);
-    assert!(c.speedup > 0.97, "SM-low must not hurt memory kernel ({:.3})", c.speedup);
-    assert!(c.energy_ratio < 0.95, "SM-low must save >5% on a memory kernel");
+    assert!(
+        c.speedup > 0.97,
+        "SM-low must not hurt memory kernel ({:.3})",
+        c.speedup
+    );
+    assert!(
+        c.energy_ratio < 0.95,
+        "SM-low must save >5% on a memory kernel"
+    );
 }
 
 #[test]
@@ -174,7 +185,10 @@ fn load_imbalanced_kernel_gets_sm_boost() {
     let base = r.baseline(&k).unwrap();
     let eq = r.run(&k, System::Equalizer(Mode::Performance)).unwrap();
     let c = compare(&base, &eq);
-    assert!(c.speedup > 1.10, "idle SMs must trigger the race-to-finish boost");
+    assert!(
+        c.speedup > 1.10,
+        "idle SMs must trigger the race-to-finish boost"
+    );
     // Leakage savings keep the energy cost low despite the boost.
     assert!(
         c.energy_ratio < 1.10,

@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use equalizer_core::{Equalizer, Mode};
 use equalizer_power::PowerModel;
-use equalizer_sim::gpu::simulate;
 use equalizer_sim::governor::StaticGovernor;
+use equalizer_sim::gpu::simulate;
 use equalizer_sim::kernel::{Invocation, KernelCategory, KernelSpec};
 use equalizer_sim::prelude::*;
 use equalizer_workloads::kernel_by_name;

@@ -100,7 +100,10 @@ fn texture_loads_complete_and_count_no_l1_traffic() {
     let stats = simulate(&config, &kernel, &mut StaticGovernor).unwrap();
     let l1_accesses: u64 = stats.sm_events.iter().map(|e| e.l1_accesses).sum();
     assert_eq!(l1_accesses, 0, "texture path bypasses the L1 data cache");
-    assert!(stats.dram_accesses() > 0, "texture traffic still reaches DRAM");
+    assert!(
+        stats.dram_accesses() > 0,
+        "texture traffic still reaches DRAM"
+    );
     assert_eq!(stats.instructions(), 8 * 4 * 2 * 50);
 }
 
@@ -142,7 +145,12 @@ fn barriers_work_under_throttling() {
         vec![Invocation {
             grid_blocks: 16,
             program: Arc::new(Program::new(vec![Segment::new(
-                vec![Instr::alu_dep(), Instr::Sync, Instr::load_streaming(), Instr::Sync],
+                vec![
+                    Instr::alu_dep(),
+                    Instr::Sync,
+                    Instr::load_streaming(),
+                    Instr::Sync,
+                ],
                 30,
             )])),
         }],
@@ -153,7 +161,11 @@ fn barriers_work_under_throttling() {
         &mut equalizer_sim::governor::FixedBlocksGovernor::new(2),
     )
     .unwrap();
-    assert_eq!(stats.instructions(), 16 * 6 * 2 * 30, "barriers issue nothing");
+    assert_eq!(
+        stats.instructions(),
+        16 * 6 * 2 * 30,
+        "barriers issue nothing"
+    );
 }
 
 #[test]

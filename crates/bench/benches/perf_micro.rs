@@ -41,6 +41,18 @@ fn main() {
     });
     println!("{r}");
 
+    // A one-SM GPU exercises the engine's single-SM fast path, which
+    // skips the per-step rotation hash entirely.
+    let mut single = GpuConfig::gtx480();
+    single.num_sms = 1;
+    let kernel = kernel_by_name("mri-q").expect("catalog kernel");
+    let r = bench("single-sm/mri-q", sim_opts, || {
+        let stats = simulate(black_box(&single), black_box(&kernel), &mut StaticGovernor)
+            .expect("simulation");
+        black_box(stats.instructions())
+    });
+    println!("{r}");
+
     println!("\n=== decision cost ===");
     let counters = WarpStateCounters {
         samples: 32,

@@ -5,8 +5,9 @@ use equalizer_baselines::{ccws_baseline, DynCta, StaticPoint};
 use equalizer_core::{Equalizer, Mode};
 use equalizer_power::{EnergyBreakdown, PowerModel};
 use equalizer_sim::config::GpuConfig;
+use equalizer_sim::engine::{Engine, Observer};
 use equalizer_sim::governor::{FixedBlocksGovernor, Governor, StaticGovernor};
-use equalizer_sim::gpu::{simulate_with, SimError, SimOptions};
+use equalizer_sim::gpu::{SimError, SimOptions};
 use equalizer_sim::kernel::KernelSpec;
 use equalizer_sim::stats::RunStats;
 
@@ -131,13 +132,10 @@ impl Runner {
         &self.model
     }
 
-    /// Runs `kernel` under `system`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`SimError`] from the simulator.
-    pub fn run(&self, kernel: &KernelSpec, system: System) -> Result<Measurement, SimError> {
-        let (config, mut governor): (GpuConfig, Box<dyn Governor>) = match system {
+    /// Resolves a [`System`] into the configuration and governor that
+    /// realise it on this runner's hardware.
+    fn system_setup(&self, system: System) -> (GpuConfig, Box<dyn Governor>) {
+        match system {
             System::Static(point) => (point.apply(self.config.clone()), Box::new(StaticGovernor)),
             System::Equalizer(mode) => (
                 self.config.clone(),
@@ -162,15 +160,47 @@ impl Runner {
                 (c, Box::new(g))
             }
             System::FixedBlocks(n) => (self.config.clone(), Box::new(FixedBlocksGovernor::new(n))),
-        };
-        let stats = simulate_with(&config, kernel, governor.as_mut(), self.options)?;
+        }
+    }
+
+    /// Runs `kernel` under `system`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the simulator.
+    pub fn run(&self, kernel: &KernelSpec, system: System) -> Result<Measurement, SimError> {
+        let (config, mut governor) = self.system_setup(system);
+        let stats = Engine::new(&config, kernel, self.options)?.run(governor.as_mut())?;
+        Ok(self.measure(kernel, system, stats))
+    }
+
+    /// Runs `kernel` under `system` with a passive [`Observer`] attached
+    /// to the engine — e.g. [`crate::trace::JsonLinesTrace`] — without
+    /// perturbing the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the simulator.
+    pub fn run_observed(
+        &self,
+        kernel: &KernelSpec,
+        system: System,
+        observer: &mut dyn Observer,
+    ) -> Result<Measurement, SimError> {
+        let (config, mut governor) = self.system_setup(system);
+        let mut engine = Engine::new(&config, kernel, self.options)?.with_observer(observer);
+        let stats = engine.run(governor.as_mut())?;
+        Ok(self.measure(kernel, system, stats))
+    }
+
+    fn measure(&self, kernel: &KernelSpec, system: System, stats: RunStats) -> Measurement {
         let energy = self.model.energy(&stats);
-        Ok(Measurement {
+        Measurement {
             kernel: kernel.name().to_string(),
             system,
             stats,
             energy,
-        })
+        }
     }
 
     /// Runs the baseline operating point for `kernel`.

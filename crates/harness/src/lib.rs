@@ -25,6 +25,7 @@
 pub mod experiment;
 pub mod figures;
 pub mod tables;
+pub mod trace;
 
 pub use experiment::{compare, parallel_map, Comparison, Measurement, Runner, System};
 pub use tables::{pct, pct_delta, TextTable};

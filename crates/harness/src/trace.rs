@@ -1,0 +1,255 @@
+//! A JSON-lines trace observer for simulation runs.
+//!
+//! [`JsonLinesTrace`] implements [`equalizer_sim::engine::Observer`] and
+//! serialises every engine event — invocation boundaries, per-epoch
+//! counter summaries, VF transitions and block events — into an in-memory
+//! JSON-lines buffer, one self-describing object per line. The buffer is
+//! plain `String` data: binaries decide whether it goes to stdout, a file
+//! or a figure pipeline; library code never prints.
+//!
+//! The encoder is hand-rolled (numbers, booleans and the fixed key set
+//! below need no escaping), keeping the harness free of serialisation
+//! dependencies.
+
+use std::fmt::Write as _;
+
+use equalizer_sim::config::{Femtos, VfLevel};
+use equalizer_sim::engine::{BlockEvent, Observer, VfDomain};
+use equalizer_sim::governor::{EpochContext, SmEpochReport};
+use equalizer_sim::kernel::KernelSpec;
+use equalizer_sim::stats::{EpochRecord, InvocationStats};
+
+/// Collects one JSON object per engine event, newline-separated.
+///
+/// ```
+/// use equalizer_harness::trace::JsonLinesTrace;
+/// use equalizer_sim::prelude::*;
+/// use std::sync::Arc;
+///
+/// let program = Arc::new(Program::new(vec![Segment::new(
+///     vec![Instr::alu(), Instr::alu_dep()],
+///     2000,
+/// )]));
+/// let kernel = KernelSpec::new(
+///     "traced",
+///     KernelCategory::Compute,
+///     4,
+///     8,
+///     vec![Invocation { grid_blocks: 64, program }],
+/// );
+/// let mut trace = JsonLinesTrace::new();
+/// let mut engine = Engine::new(&GpuConfig::gtx480(), &kernel, SimOptions::default())?
+///     .with_observer(&mut trace);
+/// engine.run(&mut StaticGovernor)?;
+/// assert!(trace.lines().lines().any(|l| l.contains("\"event\":\"epoch\"")));
+/// # Ok::<(), equalizer_sim::gpu::SimError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct JsonLinesTrace {
+    buf: String,
+    events: usize,
+}
+
+impl JsonLinesTrace {
+    /// An empty trace buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The JSON-lines text collected so far.
+    pub fn lines(&self) -> &str {
+        &self.buf
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events
+    }
+
+    /// True when no event has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Consumes the trace, yielding the JSON-lines text.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+
+    fn end_line(&mut self) {
+        self.buf.push_str("}\n");
+        self.events += 1;
+    }
+}
+
+fn level(l: VfLevel) -> &'static str {
+    match l {
+        VfLevel::Low => "low",
+        VfLevel::Nominal => "nominal",
+        VfLevel::High => "high",
+    }
+}
+
+impl Observer for JsonLinesTrace {
+    fn on_invocation_start(&mut self, invocation: usize, kernel: &KernelSpec) {
+        // Kernel names are identifier-like in this suite; escape the two
+        // characters that could break the JSON string anyway.
+        let name: String = kernel
+            .name()
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        let _ = write!(
+            self.buf,
+            "{{\"event\":\"invocation_start\",\"invocation\":{invocation},\"kernel\":\"{name}\",\
+             \"grid_blocks\":{}",
+            kernel
+                .invocations()
+                .get(invocation)
+                .map(|i| i.grid_blocks)
+                .unwrap_or(0)
+        );
+        self.end_line();
+    }
+
+    fn on_invocation_end(&mut self, stats: &InvocationStats) {
+        let _ = write!(
+            self.buf,
+            "{{\"event\":\"invocation_end\",\"invocation\":{},\"sm_cycles\":{},\"wall_fs\":{}",
+            stats.index, stats.sm_cycles, stats.wall_fs
+        );
+        self.end_line();
+    }
+
+    fn on_epoch(&mut self, ctx: &EpochContext, reports: &[SmEpochReport], record: &EpochRecord) {
+        let c = &record.counters;
+        let _ = write!(
+            self.buf,
+            "{{\"event\":\"epoch\",\"epoch_index\":{},\"invocation\":{},\"end_fs\":{},\
+             \"sm_level\":\"{}\",\"mem_level\":\"{}\",\"sms\":{},\
+             \"mean_active_blocks\":{:.3},\"mean_target_blocks\":{:.3},\
+             \"active\":{},\"waiting\":{},\"issued\":{},\"excess_alu\":{},\"excess_mem\":{},\
+             \"others\":{},\"samples\":{},\"idle_cycles\":{},\"cycles\":{}",
+            record.epoch_index,
+            record.invocation,
+            record.end_fs,
+            level(record.sm_level),
+            level(record.mem_level),
+            reports.len(),
+            record.mean_active_blocks,
+            record.mean_target_blocks,
+            c.active,
+            c.waiting,
+            c.issued,
+            c.excess_alu,
+            c.excess_mem,
+            c.others,
+            c.samples,
+            c.idle_cycles,
+            c.cycles
+        );
+        debug_assert_eq!(ctx.epoch_index, record.epoch_index);
+        self.end_line();
+    }
+
+    fn on_vf_transition(
+        &mut self,
+        domain: VfDomain,
+        from: VfLevel,
+        to: VfLevel,
+        apply_at_fs: Femtos,
+    ) {
+        let (kind, index) = match domain {
+            VfDomain::Sm(i) => ("sm", i as i64),
+            VfDomain::Memory => ("mem", -1),
+        };
+        let _ = write!(
+            self.buf,
+            "{{\"event\":\"vf_transition\",\"domain\":\"{kind}\",\"index\":{index},\
+             \"from\":\"{}\",\"to\":\"{}\",\"apply_at_fs\":{apply_at_fs}",
+            level(from),
+            level(to)
+        );
+        self.end_line();
+    }
+
+    fn on_block_event(&mut self, event: BlockEvent) {
+        match event {
+            BlockEvent::Completed { sm, count } => {
+                let _ = write!(
+                    self.buf,
+                    "{{\"event\":\"blocks_completed\",\"sm\":{sm},\"count\":{count}"
+                );
+            }
+            BlockEvent::TargetChanged { sm, target } => {
+                let _ = write!(
+                    self.buf,
+                    "{{\"event\":\"target_changed\",\"sm\":{sm},\"target\":{target}"
+                );
+            }
+        }
+        self.end_line();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Runner, System};
+    use equalizer_baselines::StaticPoint;
+    use equalizer_core::Mode;
+    use equalizer_workloads::kernel_by_name;
+
+    #[test]
+    fn trace_captures_epochs_and_invocations() {
+        let r = Runner::gtx480();
+        let k = kernel_by_name("mmer").unwrap();
+        let mut trace = JsonLinesTrace::new();
+        let m = r
+            .run_observed(&k, System::Static(StaticPoint::Baseline), &mut trace)
+            .unwrap();
+        assert!(!trace.is_empty());
+        let text = trace.lines();
+        let starts = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"invocation_start\""))
+            .count();
+        let ends = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"invocation_end\""))
+            .count();
+        let epochs = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"epoch\""))
+            .count();
+        assert_eq!(starts, k.invocations().len());
+        assert_eq!(ends, k.invocations().len());
+        assert_eq!(epochs, m.stats.epochs.len(), "one trace line per epoch");
+        // Every line is a single JSON object.
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_run() {
+        let r = Runner::gtx480();
+        let k = kernel_by_name("mmer").unwrap();
+        let system = System::Equalizer(Mode::Performance);
+        let bare = r.run(&k, system).unwrap();
+        let mut trace = JsonLinesTrace::new();
+        let traced = r.run_observed(&k, system, &mut trace).unwrap();
+        assert_eq!(bare.stats.wall_time_fs, traced.stats.wall_time_fs);
+        assert_eq!(bare.stats.sm_cycles_at, traced.stats.sm_cycles_at);
+        assert_eq!(bare.stats.warp_states, traced.stats.warp_states);
+        // Equalizer actually moves frequencies on this kernel, so the
+        // trace carries VF transitions too.
+        assert!(trace
+            .lines()
+            .lines()
+            .any(|l| l.contains("\"event\":\"vf_transition\"")));
+    }
+}

@@ -1,0 +1,1049 @@
+//! The step-wise simulation engine.
+//!
+//! [`Engine`] owns the complete simulated machine — both clock domains,
+//! every SM, the memory system and the block dispatcher — and advances it
+//! one event at a time through [`Engine::step`]. The run-to-completion
+//! entry points ([`crate::gpu::simulate`] / [`crate::gpu::simulate_with`])
+//! are thin wrappers over [`Engine::run`]; incremental callers can instead
+//! pause between steps, inspect [`Engine::stats`] mid-run, drive exactly
+//! one epoch with [`Engine::run_epoch`], or attach [`Observer`]s for
+//! passive instrumentation that never perturbs the simulation.
+//!
+//! The decomposition mirrors how component-based simulators (MGSim-style
+//! engines, Accel-Sim parallelization work) get their extensibility: a
+//! steppable core plus attachable observers. Equalizer itself is just one
+//! observer/actuator pair over epoch boundaries (the [`Governor`] side),
+//! so the paper's runtime loses nothing from the decoupling.
+//!
+//! # Determinism
+//!
+//! A step-driven run is bit-identical to a one-shot run: `step` performs
+//! exactly one iteration of the classic event loop, and observers only
+//! read state. `tests/engine_stepping.rs` pins this property.
+
+use std::fmt;
+
+use crate::clock::DomainClock;
+use crate::config::{Femtos, GpuConfig, VfLevel};
+use crate::counters::WarpStateCounters;
+use crate::governor::{EpochContext, EpochDecision, Governor, SmEpochReport, VfRequest};
+use crate::gpu::{SimError, SimOptions};
+use crate::gwde::Gwde;
+use crate::kernel::KernelSpec;
+use crate::memsys::MemSystem;
+use crate::sm::Sm;
+use crate::stats::{EpochRecord, InvocationStats, RunStats};
+
+/// Identifies a clock domain in [`Observer::on_vf_transition`] callbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VfDomain {
+    /// The SM domain. The index names the regulator: it is the SM index
+    /// when [`GpuConfig::per_sm_vrm`] is enabled and `0` for the shared
+    /// regulator otherwise.
+    Sm(usize),
+    /// The memory-system domain (interconnect + L2 + MC + DRAM).
+    Memory,
+}
+
+/// A thread-block residency event, reported to observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockEvent {
+    /// `count` blocks retired on SM `sm` during the last SM cycle.
+    Completed {
+        /// SM index.
+        sm: usize,
+        /// Blocks retired in that cycle.
+        count: u64,
+    },
+    /// The governor's epoch decision changed SM `sm`'s concurrency target.
+    TargetChanged {
+        /// SM index.
+        sm: usize,
+        /// The new (clamped) target.
+        target: usize,
+    },
+}
+
+/// What one call to [`Engine::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// A new invocation was set up (index given); no simulated time
+    /// advanced.
+    InvocationStart(usize),
+    /// The memory domain ticked once.
+    MemCycle,
+    /// The SM domain ticked: every SM whose clock was due cycled once.
+    SmCycle,
+    /// The SM tick crossed an epoch boundary and the governor was
+    /// consulted.
+    EpochBoundary,
+    /// The running invocation drained and its statistics were retired
+    /// (index given).
+    InvocationEnd(usize),
+    /// Every invocation has completed; further `step` calls are no-ops.
+    Complete,
+}
+
+/// Passive instrumentation hooks over a simulation run.
+///
+/// Every method has a no-op default, so an observer implements only the
+/// events it cares about. Observers are strictly read-only: the engine
+/// never lets them mutate simulated state, and an engine with no
+/// observers attached pays nothing for the hooks (the per-step block
+/// bookkeeping is skipped entirely).
+pub trait Observer {
+    /// A kernel invocation was set up and is about to run.
+    fn on_invocation_start(&mut self, _invocation: usize, _kernel: &KernelSpec) {}
+
+    /// A kernel invocation drained; `stats` is its retired timing entry.
+    fn on_invocation_end(&mut self, _stats: &InvocationStats) {}
+
+    /// An epoch boundary was crossed. Fires after the governor has been
+    /// consulted but before its decision is applied, so `ctx`/`reports`
+    /// describe exactly what the governor saw; `record` is the bundled
+    /// summary that [`Recorder`] persists into [`RunStats::epochs`].
+    fn on_epoch(&mut self, _ctx: &EpochContext, _reports: &[SmEpochReport], _record: &EpochRecord) {
+    }
+
+    /// The governor's decision scheduled a VF level change on `domain`,
+    /// from `from` to `to`, taking effect at `apply_at_fs` (after the VRM
+    /// delay).
+    fn on_vf_transition(
+        &mut self,
+        _domain: VfDomain,
+        _from: VfLevel,
+        _to: VfLevel,
+        _apply_at_fs: Femtos,
+    ) {
+    }
+
+    /// Thread-block residency changed (completion or a target change).
+    fn on_block_event(&mut self, _event: BlockEvent) {}
+}
+
+/// The bundled observer behind [`SimOptions::record_epochs`]: collects
+/// one [`EpochRecord`] per epoch boundary.
+///
+/// [`Engine`] installs one internally when `record_epochs` is set (that
+/// is how [`RunStats::epochs`] is produced); attach your own with
+/// [`Engine::attach`] to collect the identical timeline externally.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    records: Vec<EpochRecord>,
+}
+
+impl Recorder {
+    /// The records captured so far, in epoch order.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// Consumes the recorder, yielding the captured timeline.
+    pub fn into_records(self) -> Vec<EpochRecord> {
+        self.records
+    }
+}
+
+impl Observer for Recorder {
+    fn on_epoch(&mut self, _ctx: &EpochContext, _reports: &[SmEpochReport], record: &EpochRecord) {
+        self.records.push(*record);
+    }
+}
+
+/// Where the engine's state machine currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// The next `step` sets up invocation `inv_idx` (or completes the run
+    /// when the kernel has no more invocations).
+    StartInvocation,
+    /// The next `step` advances the event loop by one tick.
+    Running,
+    /// The run is over; `step` is a no-op.
+    Complete,
+}
+
+/// A reusable, steppable simulation: the state machine behind
+/// [`crate::gpu::simulate_with`].
+///
+/// # Examples
+///
+/// ```
+/// # use equalizer_sim::prelude::*;
+/// # use std::sync::Arc;
+/// let config = GpuConfig::gtx480();
+/// let program = Arc::new(Program::new(vec![Segment::new(vec![Instr::alu()], 8)]));
+/// let kernel = KernelSpec::new(
+///     "demo",
+///     KernelCategory::Compute,
+///     4,
+///     8,
+///     vec![Invocation { grid_blocks: 30, program }],
+/// );
+/// let mut engine = Engine::new(&config, &kernel, SimOptions::default())?;
+/// // Drive the run one event at a time; stop whenever you like.
+/// while engine.step(&mut StaticGovernor)? != StepEvent::Complete {}
+/// assert!(engine.stats().instructions() > 0);
+/// # Ok::<(), equalizer_sim::gpu::SimError>(())
+/// ```
+pub struct Engine<'o> {
+    config: GpuConfig,
+    kernel: KernelSpec,
+    options: SimOptions,
+
+    // The machine.
+    sm_clocks: Vec<DomainClock>,
+    mem_clock: DomainClock,
+    sms: Vec<Sm>,
+    mem: MemSystem,
+    gwde: Gwde,
+
+    // Epoch bookkeeping. With per-SM VRMs the SM clocks drift apart, so
+    // epochs are delimited in wall time (the paper's 4096 cycles at the
+    // nominal frequency); with a shared VRM they are cycle-counted.
+    nominal_sm_period: Femtos,
+    epoch_span_fs: Femtos,
+    epoch_index: u64,
+    last_epoch_cycle: u64,
+    next_epoch_fs: Femtos,
+
+    // Run cursor.
+    sm_steps: u64,
+    now: Femtos,
+    single_sm: bool,
+    inv_idx: usize,
+    inv_start_cycles: u64,
+    inv_start_fs: Femtos,
+    phase: Phase,
+
+    // Instrumentation.
+    invocations: Vec<InvocationStats>,
+    recorder: Option<Recorder>,
+    observers: Vec<&'o mut dyn Observer>,
+    block_scratch: Vec<u64>,
+}
+
+impl fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("kernel", &self.kernel.name())
+            .field("invocation", &self.inv_idx)
+            .field("epoch_index", &self.epoch_index)
+            .field("now_fs", &self.now)
+            .field("phase", &self.phase)
+            .field("observers", &self.observers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'o> Engine<'o> {
+    /// Builds an engine over a validated configuration, ready to run
+    /// `kernel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an inconsistent
+    /// configuration.
+    pub fn new(
+        config: &GpuConfig,
+        kernel: &KernelSpec,
+        options: SimOptions,
+    ) -> Result<Self, SimError> {
+        config.validate().map_err(SimError::InvalidConfig)?;
+
+        // One SM clock shared by all SMs, or one clock per SM when the
+        // hardware has per-SM voltage regulators (§V-A1 of the paper).
+        let clock_count = if config.per_sm_vrm { config.num_sms } else { 1 };
+        let sm_clocks: Vec<DomainClock> = (0..clock_count)
+            .map(|_| DomainClock::new(config.sm_clock, config.initial_sm_level))
+            .collect();
+        let mem_clock = DomainClock::new(config.mem_clock, config.initial_mem_level);
+        let sms: Vec<Sm> = (0..config.num_sms).map(|i| Sm::new(i, config)).collect();
+        let mem = MemSystem::new(config);
+        let nominal_sm_period = config.sm_clock.period_fs(VfLevel::Nominal);
+        let epoch_span_fs = config.epoch_cycles * nominal_sm_period;
+
+        Ok(Self {
+            single_sm: config.num_sms == 1,
+            kernel: kernel.clone(),
+            options,
+            sm_clocks,
+            mem_clock,
+            sms,
+            mem,
+            gwde: Gwde::new(0),
+            nominal_sm_period,
+            epoch_span_fs,
+            epoch_index: 0,
+            last_epoch_cycle: 0,
+            next_epoch_fs: epoch_span_fs,
+            sm_steps: 0,
+            now: 0,
+            inv_idx: 0,
+            inv_start_cycles: 0,
+            inv_start_fs: 0,
+            phase: Phase::StartInvocation,
+            invocations: Vec::new(),
+            recorder: options.record_epochs.then(Recorder::default),
+            observers: Vec::new(),
+            block_scratch: Vec::new(),
+            config: config.clone(),
+        })
+    }
+
+    /// Attaches a passive observer for the rest of the run.
+    pub fn attach(&mut self, observer: &'o mut dyn Observer) {
+        self.observers.push(observer);
+    }
+
+    /// Builder-style [`Engine::attach`].
+    #[must_use]
+    pub fn with_observer(mut self, observer: &'o mut dyn Observer) -> Self {
+        self.attach(observer);
+        self
+    }
+
+    /// The kernel under simulation.
+    pub fn kernel(&self) -> &KernelSpec {
+        &self.kernel
+    }
+
+    /// The configuration the machine was built from.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Absolute simulated time reached so far.
+    pub fn now_fs(&self) -> Femtos {
+        self.now
+    }
+
+    /// Epoch boundaries crossed so far.
+    pub fn epoch_index(&self) -> u64 {
+        self.epoch_index
+    }
+
+    /// The invocation the engine is on (equals the invocation count once
+    /// the run is complete).
+    pub fn invocation(&self) -> usize {
+        self.inv_idx
+    }
+
+    /// Whether every invocation has completed.
+    pub fn is_complete(&self) -> bool {
+        self.phase == Phase::Complete
+    }
+
+    /// Read access to the SMs, for mid-run inspection.
+    pub fn sms(&self) -> &[Sm] {
+        &self.sms
+    }
+
+    /// Advances the simulation by exactly one event: an invocation setup,
+    /// one domain tick (possibly crossing an epoch boundary), or an
+    /// invocation retirement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] when the running invocation
+    /// exceeds [`SimOptions::max_cycles_per_invocation`]; the engine is
+    /// then complete and further steps are no-ops.
+    pub fn step(&mut self, governor: &mut dyn Governor) -> Result<StepEvent, SimError> {
+        match self.phase {
+            Phase::Complete => Ok(StepEvent::Complete),
+            Phase::StartInvocation => {
+                if self.inv_idx >= self.kernel.invocations().len() {
+                    self.phase = Phase::Complete;
+                    return Ok(StepEvent::Complete);
+                }
+                self.begin_invocation(governor);
+                Ok(StepEvent::InvocationStart(self.inv_idx))
+            }
+            Phase::Running => self.step_running(governor),
+        }
+    }
+
+    /// Steps until the next epoch boundary, invocation end, or run
+    /// completion, returning the event that stopped the loop. One call
+    /// therefore consults the governor at most once.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::step`].
+    pub fn run_epoch(&mut self, governor: &mut dyn Governor) -> Result<StepEvent, SimError> {
+        loop {
+            let event = self.step(governor)?;
+            if matches!(
+                event,
+                StepEvent::EpochBoundary | StepEvent::InvocationEnd(_) | StepEvent::Complete
+            ) {
+                return Ok(event);
+            }
+        }
+    }
+
+    /// Steps until the current invocation retires (or the run completes),
+    /// returning the event that stopped the loop.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::step`].
+    pub fn run_invocation(&mut self, governor: &mut dyn Governor) -> Result<StepEvent, SimError> {
+        loop {
+            let event = self.step(governor)?;
+            if matches!(event, StepEvent::InvocationEnd(_) | StepEvent::Complete) {
+                return Ok(event);
+            }
+        }
+    }
+
+    /// Runs every remaining invocation to completion and assembles the
+    /// final statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::step`].
+    pub fn run(&mut self, governor: &mut dyn Governor) -> Result<RunStats, SimError> {
+        while self.step(governor)? != StepEvent::Complete {}
+        Ok(self.stats())
+    }
+
+    /// Assembles run statistics for the simulation so far. Callable at
+    /// any point — mid-run snapshots see partial cycle counts and the
+    /// epochs recorded up to now.
+    ///
+    /// With per-SM VRMs the SM-domain residency is averaged over SMs, so
+    /// the power model's per-watt integrals keep their meaning (watts ×
+    /// wall time for the whole SM array).
+    pub fn stats(&self) -> RunStats {
+        let nc = self.sm_clocks.len() as u64;
+        let mut sm_cycles_at = [0u64; 3];
+        let mut sm_time_at = [0u64; 3];
+        for c in &self.sm_clocks {
+            for i in 0..3 {
+                sm_cycles_at[i] += c.cycles_at()[i];
+                sm_time_at[i] += c.time_at()[i];
+            }
+        }
+        for i in 0..3 {
+            sm_cycles_at[i] /= nc;
+            sm_time_at[i] /= nc;
+        }
+        let mut stats = RunStats {
+            wall_time_fs: self.now,
+            num_sms: self.config.num_sms,
+            sm_cycles_at,
+            sm_time_at,
+            mem_cycles_at: self.mem_clock.cycles_at(),
+            mem_time_at: self.mem_clock.time_at(),
+            mem_events: *self.mem.stats(),
+            epochs: self
+                .recorder
+                .as_ref()
+                .map(|r| r.records().to_vec())
+                .unwrap_or_default(),
+            invocations: self.invocations.clone(),
+            ..RunStats::default()
+        };
+        for sm in &self.sms {
+            for (agg, ev) in stats.sm_events.iter_mut().zip(sm.events().iter()) {
+                agg.issued += ev.issued;
+                agg.alu_ops += ev.alu_ops;
+                agg.mem_instrs += ev.mem_instrs;
+                agg.l1_accesses += ev.l1_accesses;
+                agg.l1_hits += ev.l1_hits;
+                agg.busy_cycles += ev.busy_cycles;
+            }
+            stats.warp_states.merge(sm.run_counters());
+        }
+        stats
+    }
+
+    fn begin_invocation(&mut self, governor: &mut dyn Governor) {
+        let (grid_blocks, program) = {
+            let invocation = &self.kernel.invocations()[self.inv_idx];
+            (invocation.grid_blocks, invocation.program.clone())
+        };
+        self.inv_start_cycles = self
+            .sm_clocks
+            .iter()
+            .map(DomainClock::cycles)
+            .max()
+            .unwrap_or(0);
+        self.inv_start_fs = self.now;
+        self.gwde = Gwde::new(grid_blocks);
+        self.mem.flush_l2();
+        for sm in &mut self.sms {
+            sm.begin_invocation(&self.kernel, self.inv_idx, program.clone());
+            sm.fill(&mut self.gwde);
+        }
+        governor.on_invocation_start(self.inv_idx, &self.kernel);
+        for obs in &mut self.observers {
+            obs.on_invocation_start(self.inv_idx, &self.kernel);
+        }
+        self.phase = Phase::Running;
+    }
+
+    fn step_running(&mut self, governor: &mut dyn Governor) -> Result<StepEvent, SimError> {
+        // Advance the domain with the earliest next tick; ties go to the
+        // memory system so responses are in place before SMs consume
+        // them.
+        // `validate()` guarantees at least one SM, hence one clock;
+        // Femtos::MAX would stall the loop rather than panic if that
+        // invariant ever broke.
+        let min_sm_tick = self
+            .sm_clocks
+            .iter()
+            .map(DomainClock::next_tick)
+            .min()
+            .unwrap_or(Femtos::MAX);
+        if self.mem_clock.next_tick() <= min_sm_tick {
+            let t = self.mem_clock.tick();
+            self.now = self.now.max(t);
+            let level = self.mem_clock.level();
+            let period = self.mem_clock.period_fs();
+            self.mem.step(t, level, period);
+            return Ok(StepEvent::MemCycle);
+        }
+
+        let t = min_sm_tick;
+        self.now = self.now.max(t);
+        self.sm_steps += 1;
+        // Rotate the service order so no SM gets standing priority for
+        // the shared interconnect queue (a fixed order starves high-id
+        // SMs under back-pressure and creates artificial stragglers).
+        // The start is hashed, not sequential: a sequential rotation
+        // beats against the SM:memory clock ratio and still favours a
+        // subset of SMs for long stretches. A single-SM machine has only
+        // one possible order, so it skips the hash entirely.
+        let n = self.sms.len();
+        let start = if self.single_sm {
+            0
+        } else {
+            (crate::util::mix64(self.sm_steps) as usize) % n
+        };
+        let track_blocks = !self.observers.is_empty();
+        if track_blocks {
+            self.block_scratch.clear();
+            self.block_scratch
+                .extend(self.sms.iter().map(Sm::blocks_completed));
+        }
+        if self.config.per_sm_vrm {
+            for off in 0..n {
+                let i = (start + off) % n;
+                if self.sm_clocks[i].next_tick() == t {
+                    self.sm_clocks[i].tick();
+                    let level = self.sm_clocks[i].level();
+                    let period = self.sm_clocks[i].period_fs();
+                    self.sms[i].cycle(t, level, period, &mut self.mem, &mut self.gwde);
+                }
+            }
+        } else {
+            self.sm_clocks[0].tick();
+            let level = self.sm_clocks[0].level();
+            let period = self.sm_clocks[0].period_fs();
+            for off in 0..n {
+                self.sms[(start + off) % n].cycle(t, level, period, &mut self.mem, &mut self.gwde);
+            }
+        }
+        if track_blocks {
+            for i in 0..n {
+                let completed = self.sms[i].blocks_completed() - self.block_scratch[i];
+                if completed > 0 {
+                    let event = BlockEvent::Completed {
+                        sm: i,
+                        count: completed,
+                    };
+                    for obs in &mut self.observers {
+                        obs.on_block_event(event);
+                    }
+                }
+            }
+        }
+
+        // Epoch boundary: consult the governor. With a shared VRM the
+        // boundary is cycle-counted; with per-SM VRMs it is the wall-time
+        // equivalent.
+        let epoch_due = if self.config.per_sm_vrm {
+            t >= self.next_epoch_fs
+        } else {
+            self.sm_clocks[0].cycles() - self.last_epoch_cycle >= self.config.epoch_cycles
+        };
+        let mut event = StepEvent::SmCycle;
+        if epoch_due {
+            self.epoch_boundary(governor, t);
+            event = StepEvent::EpochBoundary;
+        }
+
+        // Termination check for this invocation.
+        if self.gwde.drained()
+            && self.sms.iter().all(|s| !s.busy() && s.quiescent())
+            && self.mem.quiescent()
+        {
+            // Sanitizer: every MSHR, LSU queue and local-hit queue must
+            // be empty once an invocation completes.
+            #[cfg(feature = "validate")]
+            for sm in &self.sms {
+                sm.validate_drained();
+            }
+            let end_cycles = self
+                .sm_clocks
+                .iter()
+                .map(DomainClock::cycles)
+                .max()
+                .unwrap_or(0);
+            let inv_stats = InvocationStats {
+                index: self.inv_idx,
+                sm_cycles: end_cycles - self.inv_start_cycles,
+                wall_fs: self.now - self.inv_start_fs,
+            };
+            self.invocations.push(inv_stats);
+            for obs in &mut self.observers {
+                obs.on_invocation_end(&inv_stats);
+            }
+            self.inv_idx += 1;
+            self.phase = Phase::StartInvocation;
+            return Ok(StepEvent::InvocationEnd(inv_stats.index));
+        }
+
+        let max_cycles = self
+            .sm_clocks
+            .iter()
+            .map(DomainClock::cycles)
+            .max()
+            .unwrap_or(0);
+        if max_cycles - self.inv_start_cycles > self.options.max_cycles_per_invocation {
+            // The machine is wedged (or pathologically slow); freeze the
+            // engine so callers cannot step past the abort.
+            self.phase = Phase::Complete;
+            return Err(SimError::CycleLimit {
+                kernel: self.kernel.name().to_string(),
+                invocation: self.inv_idx,
+                limit: self.options.max_cycles_per_invocation,
+                executed: max_cycles - self.inv_start_cycles,
+                active_blocks: self.sms.iter().map(Sm::active_blocks).sum(),
+                paused_blocks: self.sms.iter().map(Sm::paused_blocks).sum(),
+                resident_warps: self.sms.iter().map(Sm::resident_warps).sum(),
+            });
+        }
+        Ok(event)
+    }
+
+    fn epoch_boundary(&mut self, governor: &mut dyn Governor, t: Femtos) {
+        self.last_epoch_cycle = self.sm_clocks[0].cycles();
+        self.next_epoch_fs = t + self.epoch_span_fs;
+        self.epoch_index += 1;
+        let per_sm_vrm = self.config.per_sm_vrm;
+        let clocks = &self.sm_clocks;
+        let reports: Vec<SmEpochReport> = self
+            .sms
+            .iter_mut()
+            .map(|sm| {
+                let clock = if per_sm_vrm {
+                    &clocks[sm.id()]
+                } else {
+                    &clocks[0]
+                };
+                SmEpochReport {
+                    sm: sm.id(),
+                    sm_level: clock.level(),
+                    counters: sm.take_epoch(),
+                    active_blocks: sm.active_blocks(),
+                    paused_blocks: sm.paused_blocks(),
+                    target_blocks: sm.target_blocks(),
+                }
+            })
+            .collect();
+        let ctx = EpochContext {
+            w_cta: self.sms[0].w_cta(),
+            resident_limit: self.sms[0].resident_limit(),
+            sm_level: self.sm_clocks[0].level(),
+            mem_level: self.mem_clock.level(),
+            epoch_index: self.epoch_index,
+            invocation: self.inv_idx,
+            now_fs: t,
+        };
+        let decision = governor.epoch(&ctx, &reports);
+        if self.recorder.is_some() || !self.observers.is_empty() {
+            let record = make_record(&ctx, &reports, self.inv_idx, self.epoch_index, t);
+            if let Some(recorder) = &mut self.recorder {
+                recorder.on_epoch(&ctx, &reports, &record);
+            }
+            for obs in &mut self.observers {
+                obs.on_epoch(&ctx, &reports, &record);
+            }
+        }
+        self.apply_decision(&decision, t);
+    }
+
+    fn apply_decision(&mut self, decision: &EpochDecision, now: Femtos) {
+        for (sm, target) in self.sms.iter_mut().zip(decision.target_blocks.iter()) {
+            if let Some(t) = target {
+                let before = sm.target_blocks();
+                sm.set_target_blocks(*t);
+                sm.fill(&mut self.gwde);
+                let after = sm.target_blocks();
+                if after != before {
+                    let event = BlockEvent::TargetChanged {
+                        sm: sm.id(),
+                        target: after,
+                    };
+                    for obs in &mut self.observers {
+                        obs.on_block_event(event);
+                    }
+                }
+            }
+        }
+        let apply_at = now + self.config.vrm_delay_cycles * self.nominal_sm_period;
+        match (&decision.per_sm_sm_vf, self.config.per_sm_vrm) {
+            (Some(requests), true) => {
+                for (i, (clock, request)) in
+                    self.sm_clocks.iter_mut().zip(requests.iter()).enumerate()
+                {
+                    apply_request(
+                        clock,
+                        *request,
+                        apply_at,
+                        VfDomain::Sm(i),
+                        &mut self.observers,
+                    );
+                }
+            }
+            _ => {
+                for (i, clock) in self.sm_clocks.iter_mut().enumerate() {
+                    apply_request(
+                        clock,
+                        decision.sm_vf,
+                        apply_at,
+                        VfDomain::Sm(i),
+                        &mut self.observers,
+                    );
+                }
+            }
+        }
+        apply_request(
+            &mut self.mem_clock,
+            decision.mem_vf,
+            apply_at,
+            VfDomain::Memory,
+            &mut self.observers,
+        );
+    }
+}
+
+/// Translates a governor request into a pending clock transition and
+/// notifies observers when the level actually changes. `Maintain` leaves
+/// the clock — including any pending transition — untouched.
+fn apply_request(
+    clock: &mut DomainClock,
+    request: VfRequest,
+    apply_at: Femtos,
+    domain: VfDomain,
+    observers: &mut [&mut dyn Observer],
+) {
+    let from = clock.level();
+    let to = match request {
+        VfRequest::Increase => from.step_up(),
+        VfRequest::Decrease => from.step_down(),
+        VfRequest::Maintain => return,
+    };
+    clock.request_level(to, apply_at);
+    if to != from {
+        for obs in observers.iter_mut() {
+            obs.on_vf_transition(domain, from, to, apply_at);
+        }
+    }
+}
+
+fn make_record(
+    ctx: &EpochContext,
+    reports: &[SmEpochReport],
+    invocation: usize,
+    epoch_index: u64,
+    end_fs: Femtos,
+) -> EpochRecord {
+    let mut counters = WarpStateCounters::default();
+    let mut active = 0usize;
+    let mut target = 0usize;
+    for r in reports {
+        counters.merge(&r.counters);
+        active += r.active_blocks;
+        target += r.target_blocks;
+    }
+    let n = reports.len().max(1) as f64;
+    EpochRecord {
+        epoch_index,
+        invocation,
+        end_fs,
+        sm_level: ctx.sm_level,
+        mem_level: ctx.mem_level,
+        counters,
+        mean_active_blocks: active as f64 / n,
+        mean_target_blocks: target as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::{FixedBlocksGovernor, StaticGovernor};
+    use crate::gpu::simulate_with;
+    use crate::kernel::{Invocation, KernelCategory};
+    use crate::program::{Instr, Program, Segment};
+    use std::sync::Arc;
+
+    fn small_config() -> GpuConfig {
+        let mut c = GpuConfig::gtx480();
+        c.num_sms = 2;
+        c
+    }
+
+    fn alu_kernel(blocks: u64, iters: u32) -> KernelSpec {
+        KernelSpec::new(
+            "engine-alu",
+            KernelCategory::Compute,
+            4,
+            8,
+            vec![Invocation {
+                grid_blocks: blocks,
+                program: Arc::new(Program::new(vec![Segment::new(
+                    vec![Instr::alu(), Instr::alu_dep()],
+                    iters,
+                )])),
+            }],
+        )
+    }
+
+    #[test]
+    fn step_driven_run_matches_oneshot() {
+        let config = small_config();
+        let kernel = alu_kernel(64, 800);
+        let opts = SimOptions::default();
+        let oneshot = simulate_with(&config, &kernel, &mut StaticGovernor, opts).unwrap();
+
+        let mut engine = Engine::new(&config, &kernel, opts).unwrap();
+        let mut steps = 0u64;
+        while engine.step(&mut StaticGovernor).unwrap() != StepEvent::Complete {
+            steps += 1;
+        }
+        let stepped = engine.stats();
+        assert!(steps > 0);
+        assert_eq!(stepped.wall_time_fs, oneshot.wall_time_fs);
+        assert_eq!(stepped.sm_cycles_at, oneshot.sm_cycles_at);
+        assert_eq!(stepped.instructions(), oneshot.instructions());
+        assert_eq!(stepped.epochs.len(), oneshot.epochs.len());
+        assert_eq!(stepped.warp_states, oneshot.warp_states);
+    }
+
+    #[test]
+    fn run_epoch_stops_at_each_boundary() {
+        let config = small_config();
+        let kernel = alu_kernel(64, 2000);
+        let mut engine = Engine::new(&config, &kernel, SimOptions::default()).unwrap();
+        let mut boundaries = 0u64;
+        loop {
+            match engine.run_epoch(&mut StaticGovernor).unwrap() {
+                StepEvent::EpochBoundary => {
+                    boundaries += 1;
+                    assert_eq!(engine.epoch_index(), boundaries);
+                }
+                StepEvent::InvocationEnd(_) => {}
+                StepEvent::Complete => break,
+                other => panic!("run_epoch returned {other:?}"),
+            }
+        }
+        assert!(boundaries >= 2, "kernel must span several epochs");
+        assert_eq!(engine.stats().epochs.len() as u64, boundaries);
+    }
+
+    #[test]
+    fn run_invocation_retires_one_invocation_per_call() {
+        let prog = Arc::new(Program::new(vec![Segment::new(vec![Instr::alu()], 50)]));
+        let kernel = KernelSpec::new(
+            "engine-multi",
+            KernelCategory::Compute,
+            2,
+            8,
+            vec![
+                Invocation {
+                    grid_blocks: 4,
+                    program: prog.clone(),
+                },
+                Invocation {
+                    grid_blocks: 8,
+                    program: prog,
+                },
+            ],
+        );
+        let mut engine = Engine::new(&small_config(), &kernel, SimOptions::default()).unwrap();
+        assert_eq!(
+            engine.run_invocation(&mut StaticGovernor).unwrap(),
+            StepEvent::InvocationEnd(0)
+        );
+        assert_eq!(engine.invocation(), 1);
+        assert_eq!(
+            engine.run_invocation(&mut StaticGovernor).unwrap(),
+            StepEvent::InvocationEnd(1)
+        );
+        assert_eq!(
+            engine.run_invocation(&mut StaticGovernor).unwrap(),
+            StepEvent::Complete
+        );
+        assert!(engine.is_complete());
+        assert_eq!(engine.stats().invocations.len(), 2);
+    }
+
+    #[test]
+    fn attached_recorder_matches_internal_timeline() {
+        let config = small_config();
+        let kernel = alu_kernel(64, 2000);
+        let mut external = Recorder::default();
+        let mut engine = Engine::new(&config, &kernel, SimOptions::default())
+            .unwrap()
+            .with_observer(&mut external);
+        let stats = engine.run(&mut StaticGovernor).unwrap();
+        assert!(stats.epochs.len() >= 2);
+        assert_eq!(external.records(), &stats.epochs[..]);
+    }
+
+    /// Counts every hook, to prove the wiring reaches a custom observer.
+    #[derive(Default)]
+    struct Counting {
+        inv_start: usize,
+        inv_end: usize,
+        epochs: usize,
+        vf: usize,
+        blocks: usize,
+    }
+
+    impl Observer for Counting {
+        fn on_invocation_start(&mut self, _i: usize, _k: &KernelSpec) {
+            self.inv_start += 1;
+        }
+        fn on_invocation_end(&mut self, _s: &InvocationStats) {
+            self.inv_end += 1;
+        }
+        fn on_epoch(
+            &mut self,
+            _ctx: &EpochContext,
+            _reports: &[SmEpochReport],
+            _record: &EpochRecord,
+        ) {
+            self.epochs += 1;
+        }
+        fn on_vf_transition(
+            &mut self,
+            _domain: VfDomain,
+            _from: VfLevel,
+            _to: VfLevel,
+            _at: Femtos,
+        ) {
+            self.vf += 1;
+        }
+        fn on_block_event(&mut self, _event: BlockEvent) {
+            self.blocks += 1;
+        }
+    }
+
+    /// Boosts the SM domain once, then throttles concurrency.
+    #[derive(Default)]
+    struct BoostAndThrottle {
+        done: bool,
+    }
+
+    impl Governor for BoostAndThrottle {
+        fn name(&self) -> &str {
+            "boost-and-throttle"
+        }
+        fn epoch(&mut self, _ctx: &EpochContext, reports: &[SmEpochReport]) -> EpochDecision {
+            let mut d = EpochDecision::maintain(reports.len());
+            if !self.done {
+                d.sm_vf = VfRequest::Increase;
+                d.target_blocks = reports.iter().map(|_| Some(2)).collect();
+                self.done = true;
+            }
+            d
+        }
+    }
+
+    #[test]
+    fn observer_sees_vf_and_block_events() {
+        let config = small_config();
+        let kernel = alu_kernel(64, 2000);
+        let mut counting = Counting::default();
+        let mut engine = Engine::new(&config, &kernel, SimOptions::default())
+            .unwrap()
+            .with_observer(&mut counting);
+        let stats = engine.run(&mut BoostAndThrottle::default()).unwrap();
+        assert_eq!(counting.inv_start, 1);
+        assert_eq!(counting.inv_end, 1);
+        assert_eq!(counting.epochs, stats.epochs.len());
+        assert!(counting.vf >= 1, "the boost must be observed");
+        assert!(
+            counting.blocks >= 1,
+            "block completions / target changes must be observed"
+        );
+    }
+
+    #[test]
+    fn observers_do_not_perturb_the_run() {
+        let config = small_config();
+        let kernel = alu_kernel(48, 1500);
+        let bare = simulate_with(
+            &config,
+            &kernel,
+            &mut FixedBlocksGovernor::new(2),
+            SimOptions::default(),
+        )
+        .unwrap();
+        let mut counting = Counting::default();
+        let mut engine = Engine::new(&config, &kernel, SimOptions::default())
+            .unwrap()
+            .with_observer(&mut counting);
+        let observed = engine.run(&mut FixedBlocksGovernor::new(2)).unwrap();
+        assert_eq!(bare.wall_time_fs, observed.wall_time_fs);
+        assert_eq!(bare.sm_cycles_at, observed.sm_cycles_at);
+        assert_eq!(bare.warp_states, observed.warp_states);
+    }
+
+    #[test]
+    fn cycle_limit_freezes_the_engine() {
+        let opts = SimOptions {
+            max_cycles_per_invocation: 50,
+            record_epochs: false,
+        };
+        let mut engine = Engine::new(&small_config(), &alu_kernel(64, 100), opts).unwrap();
+        let err = engine.run(&mut StaticGovernor).unwrap_err();
+        match err {
+            SimError::CycleLimit {
+                executed,
+                active_blocks,
+                resident_warps,
+                ..
+            } => {
+                assert!(executed > 50);
+                assert!(active_blocks > 0, "blocks were resident at abort");
+                assert!(resident_warps > 0, "warps were resident at abort");
+            }
+            other => panic!("expected CycleLimit, got {other:?}"),
+        }
+        assert!(engine.is_complete());
+        assert_eq!(
+            engine.step(&mut StaticGovernor).unwrap(),
+            StepEvent::Complete
+        );
+    }
+
+    #[test]
+    fn mid_run_stats_are_partial_but_consistent() {
+        let config = small_config();
+        let kernel = alu_kernel(64, 2000);
+        let mut engine = Engine::new(&config, &kernel, SimOptions::default()).unwrap();
+        let event = engine.run_epoch(&mut StaticGovernor).unwrap();
+        assert_eq!(event, StepEvent::EpochBoundary);
+        let mid = engine.stats();
+        assert_eq!(mid.epochs.len(), 1);
+        let full = engine.run(&mut StaticGovernor).unwrap();
+        assert!(full.wall_time_fs > mid.wall_time_fs);
+        assert!(full.instructions() > mid.instructions());
+    }
+}

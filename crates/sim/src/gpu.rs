@@ -1,18 +1,18 @@
-//! The top-level GPU: clock domains, SMs, memory system and the epoch
-//! loop that drives a [`Governor`].
+//! Run-to-completion entry points over the step-wise [`Engine`].
+//!
+//! [`simulate`] and [`simulate_with`] build an [`Engine`], drive it to
+//! completion and return the assembled [`RunStats`]. Callers that need
+//! incremental stepping, mid-run inspection or [`crate::engine::Observer`]
+//! hooks should use [`Engine`] directly.
 
 use std::error::Error;
 use std::fmt;
 
-use crate::clock::DomainClock;
-use crate::config::{Femtos, GpuConfig, VfLevel};
-use crate::counters::WarpStateCounters;
-use crate::governor::{EpochContext, EpochDecision, Governor, SmEpochReport, VfRequest};
-use crate::gwde::Gwde;
+use crate::config::GpuConfig;
+use crate::engine::Engine;
+use crate::governor::Governor;
 use crate::kernel::KernelSpec;
-use crate::memsys::MemSystem;
-use crate::sm::Sm;
-use crate::stats::{EpochRecord, InvocationStats, RunStats};
+use crate::stats::RunStats;
 
 /// Errors produced by [`simulate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +28,14 @@ pub enum SimError {
         invocation: usize,
         /// The configured limit.
         limit: u64,
+        /// SM cycles the invocation had executed when it was aborted.
+        executed: u64,
+        /// Unpaused resident blocks across all SMs at abort.
+        active_blocks: usize,
+        /// Paused resident blocks across all SMs at abort.
+        paused_blocks: usize,
+        /// Warps still resident across all SMs at abort.
+        resident_warps: usize,
     },
 }
 
@@ -39,9 +47,15 @@ impl fmt::Display for SimError {
                 kernel,
                 invocation,
                 limit,
+                executed,
+                active_blocks,
+                paused_blocks,
+                resident_warps,
             } => write!(
                 f,
-                "kernel {kernel} invocation {invocation} exceeded {limit} SM cycles"
+                "kernel {kernel} invocation {invocation} exceeded {limit} SM cycles \
+                 (executed {executed}; at abort: {active_blocks} active / {paused_blocks} \
+                 paused blocks, {resident_warps} resident warps)"
             ),
         }
     }
@@ -54,7 +68,8 @@ impl Error for SimError {}
 pub struct SimOptions {
     /// Abort an invocation after this many SM cycles.
     pub max_cycles_per_invocation: u64,
-    /// Record the per-epoch timeline in [`RunStats::epochs`].
+    /// Record the per-epoch timeline in [`RunStats::epochs`]. This
+    /// installs the engine's bundled [`crate::engine::Recorder`] observer.
     pub record_epochs: bool,
 }
 
@@ -112,285 +127,13 @@ pub fn simulate_with(
     governor: &mut dyn Governor,
     options: SimOptions,
 ) -> Result<RunStats, SimError> {
-    config.validate().map_err(SimError::InvalidConfig)?;
-
-    // One SM clock shared by all SMs, or one clock per SM when the
-    // hardware has per-SM voltage regulators (§V-A1 of the paper).
-    let clock_count = if config.per_sm_vrm { config.num_sms } else { 1 };
-    let mut sm_clocks: Vec<DomainClock> = (0..clock_count)
-        .map(|_| DomainClock::new(config.sm_clock, config.initial_sm_level))
-        .collect();
-    let clock_of = |sm: usize| if config.per_sm_vrm { sm } else { 0 };
-    let mut mem_clock = DomainClock::new(config.mem_clock, config.initial_mem_level);
-    let mut sms: Vec<Sm> = (0..config.num_sms).map(|i| Sm::new(i, config)).collect();
-    let mut mem = MemSystem::new(config);
-
-    // With per-SM VRMs the SM clocks drift apart, so epochs are delimited
-    // in wall time (the paper's 4096 cycles at the nominal frequency).
-    let nominal_sm_period = config.sm_clock.period_fs(crate::config::VfLevel::Nominal);
-    let epoch_span_fs = config.epoch_cycles * nominal_sm_period;
-
-    let mut epochs: Vec<EpochRecord> = Vec::new();
-    let mut invocations: Vec<InvocationStats> = Vec::new();
-    let mut epoch_index = 0u64;
-    let mut last_epoch_cycle = 0u64;
-    let mut next_epoch_fs: Femtos = epoch_span_fs;
-    let mut sm_steps = 0u64;
-    let mut now: Femtos = 0;
-
-    for (inv_idx, invocation) in kernel.invocations().iter().enumerate() {
-        let inv_start_cycles = sm_clocks.iter().map(DomainClock::cycles).max().unwrap_or(0);
-        let inv_start_fs = now;
-        let mut gwde = Gwde::new(invocation.grid_blocks);
-        mem.flush_l2();
-        for sm in &mut sms {
-            sm.begin_invocation(kernel, inv_idx, invocation.program.clone());
-            sm.fill(&mut gwde);
-        }
-        governor.on_invocation_start(inv_idx, kernel);
-
-        loop {
-            // Advance the domain with the earliest next tick; ties go to
-            // the memory system so responses are in place before SMs
-            // consume them.
-            // `validate()` guarantees at least one SM, hence one clock;
-            // Femtos::MAX would stall the loop rather than panic if that
-            // invariant ever broke.
-            let min_sm_tick = sm_clocks
-                .iter()
-                .map(DomainClock::next_tick)
-                .min()
-                .unwrap_or(Femtos::MAX);
-            if mem_clock.next_tick() <= min_sm_tick {
-                let t = mem_clock.tick();
-                now = now.max(t);
-                let level = mem_clock.level();
-                let period = mem_clock.period_fs();
-                mem.step(t, level, period);
-                continue;
-            }
-
-            let t = min_sm_tick;
-            now = now.max(t);
-            sm_steps += 1;
-            // Rotate the service order so no SM gets standing priority for
-            // the shared interconnect queue (a fixed order starves high-id
-            // SMs under back-pressure and creates artificial stragglers).
-            // The start is hashed, not sequential: a sequential rotation
-            // beats against the SM:memory clock ratio and still favours a
-            // subset of SMs for long stretches.
-            let n = sms.len();
-            let start = (crate::util::mix64(sm_steps) as usize) % n;
-            if config.per_sm_vrm {
-                for off in 0..n {
-                    let i = (start + off) % n;
-                    if sm_clocks[i].next_tick() == t {
-                        sm_clocks[i].tick();
-                        let level = sm_clocks[i].level();
-                        let period = sm_clocks[i].period_fs();
-                        sms[i].cycle(t, level, period, &mut mem, &mut gwde);
-                    }
-                }
-            } else {
-                sm_clocks[0].tick();
-                let level = sm_clocks[0].level();
-                let period = sm_clocks[0].period_fs();
-                for off in 0..n {
-                    sms[(start + off) % n].cycle(t, level, period, &mut mem, &mut gwde);
-                }
-            }
-
-            // Epoch boundary: consult the governor. With a shared VRM the
-            // boundary is cycle-counted; with per-SM VRMs it is the
-            // wall-time equivalent.
-            let epoch_due = if config.per_sm_vrm {
-                t >= next_epoch_fs
-            } else {
-                sm_clocks[0].cycles() - last_epoch_cycle >= config.epoch_cycles
-            };
-            if epoch_due {
-                last_epoch_cycle = sm_clocks[0].cycles();
-                next_epoch_fs = t + epoch_span_fs;
-                epoch_index += 1;
-                let reports: Vec<SmEpochReport> = sms
-                    .iter_mut()
-                    .map(|sm| SmEpochReport {
-                        sm: sm.id(),
-                        sm_level: sm_clocks[clock_of(sm.id())].level(),
-                        counters: sm.take_epoch(),
-                        active_blocks: sm.active_blocks(),
-                        paused_blocks: sm.paused_blocks(),
-                        target_blocks: sm.target_blocks(),
-                    })
-                    .collect();
-                let ctx = EpochContext {
-                    w_cta: sms[0].w_cta(),
-                    resident_limit: sms[0].resident_limit(),
-                    sm_level: sm_clocks[0].level(),
-                    mem_level: mem_clock.level(),
-                    epoch_index,
-                    invocation: inv_idx,
-                    now_fs: t,
-                };
-                let decision = governor.epoch(&ctx, &reports);
-                if options.record_epochs {
-                    epochs.push(make_record(&ctx, &reports, inv_idx, epoch_index, t));
-                }
-                apply_decision(
-                    &decision,
-                    &mut sms,
-                    &mut gwde,
-                    &mut sm_clocks,
-                    &mut mem_clock,
-                    config,
-                    nominal_sm_period,
-                    t,
-                );
-            }
-
-            // Termination check for this invocation.
-            if gwde.drained() && sms.iter().all(|s| !s.busy() && s.quiescent()) && mem.quiescent() {
-                // Sanitizer: every MSHR, LSU queue and local-hit queue
-                // must be empty once an invocation completes.
-                #[cfg(feature = "validate")]
-                for sm in &sms {
-                    sm.validate_drained();
-                }
-                break;
-            }
-            let max_cycles = sm_clocks.iter().map(DomainClock::cycles).max().unwrap_or(0);
-            if max_cycles - inv_start_cycles > options.max_cycles_per_invocation {
-                return Err(SimError::CycleLimit {
-                    kernel: kernel.name().to_string(),
-                    invocation: inv_idx,
-                    limit: options.max_cycles_per_invocation,
-                });
-            }
-        }
-
-        invocations.push(InvocationStats {
-            index: inv_idx,
-            sm_cycles: sm_clocks.iter().map(DomainClock::cycles).max().unwrap_or(0)
-                - inv_start_cycles,
-            wall_fs: now - inv_start_fs,
-        });
-    }
-
-    // Assemble run statistics. With per-SM VRMs the SM-domain residency
-    // is averaged over SMs, so the power model's per-watt integrals keep
-    // their meaning (watts × wall time for the whole SM array).
-    let nc = sm_clocks.len() as u64;
-    let mut sm_cycles_at = [0u64; 3];
-    let mut sm_time_at = [0u64; 3];
-    for c in &sm_clocks {
-        for i in 0..3 {
-            sm_cycles_at[i] += c.cycles_at()[i];
-            sm_time_at[i] += c.time_at()[i];
-        }
-    }
-    for i in 0..3 {
-        sm_cycles_at[i] /= nc;
-        sm_time_at[i] /= nc;
-    }
-    let mut stats = RunStats {
-        wall_time_fs: now,
-        num_sms: config.num_sms,
-        sm_cycles_at,
-        sm_time_at,
-        mem_cycles_at: mem_clock.cycles_at(),
-        mem_time_at: mem_clock.time_at(),
-        mem_events: *mem.stats(),
-        epochs,
-        invocations,
-        ..RunStats::default()
-    };
-    for sm in &sms {
-        for (agg, ev) in stats.sm_events.iter_mut().zip(sm.events().iter()) {
-            agg.issued += ev.issued;
-            agg.alu_ops += ev.alu_ops;
-            agg.mem_instrs += ev.mem_instrs;
-            agg.l1_accesses += ev.l1_accesses;
-            agg.l1_hits += ev.l1_hits;
-            agg.busy_cycles += ev.busy_cycles;
-        }
-        stats.warp_states.merge(sm.run_counters());
-    }
-    Ok(stats)
-}
-
-fn make_record(
-    ctx: &EpochContext,
-    reports: &[SmEpochReport],
-    invocation: usize,
-    epoch_index: u64,
-    end_fs: Femtos,
-) -> EpochRecord {
-    let mut counters = WarpStateCounters::default();
-    let mut active = 0usize;
-    let mut target = 0usize;
-    for r in reports {
-        counters.merge(&r.counters);
-        active += r.active_blocks;
-        target += r.target_blocks;
-    }
-    let n = reports.len().max(1) as f64;
-    EpochRecord {
-        epoch_index,
-        invocation,
-        end_fs,
-        sm_level: ctx.sm_level,
-        mem_level: ctx.mem_level,
-        counters,
-        mean_active_blocks: active as f64 / n,
-        mean_target_blocks: target as f64 / n,
-    }
-}
-
-fn apply_request(clock: &mut DomainClock, request: VfRequest, apply_at: Femtos) {
-    match request {
-        VfRequest::Increase => clock.request_level(clock.level().step_up(), apply_at),
-        VfRequest::Decrease => clock.request_level(clock.level().step_down(), apply_at),
-        VfRequest::Maintain => {}
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn apply_decision(
-    decision: &EpochDecision,
-    sms: &mut [Sm],
-    gwde: &mut Gwde,
-    sm_clocks: &mut [DomainClock],
-    mem_clock: &mut DomainClock,
-    config: &GpuConfig,
-    nominal_sm_period: Femtos,
-    now: Femtos,
-) {
-    for (sm, target) in sms.iter_mut().zip(decision.target_blocks.iter()) {
-        if let Some(t) = target {
-            sm.set_target_blocks(*t);
-            sm.fill(gwde);
-        }
-    }
-    let apply_at = now + config.vrm_delay_cycles * nominal_sm_period;
-    match (&decision.per_sm_sm_vf, config.per_sm_vrm) {
-        (Some(requests), true) => {
-            for (clock, request) in sm_clocks.iter_mut().zip(requests.iter()) {
-                apply_request(clock, *request, apply_at);
-            }
-        }
-        _ => {
-            for clock in sm_clocks.iter_mut() {
-                apply_request(clock, decision.sm_vf, apply_at);
-            }
-        }
-    }
-    apply_request(mem_clock, decision.mem_vf, apply_at);
-    let _ = VfLevel::Nominal; // keep import alive under cfg permutations
+    Engine::new(config, kernel, options)?.run(governor)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::VfLevel;
     use crate::governor::{FixedBlocksGovernor, StaticGovernor};
     use crate::kernel::{Invocation, KernelCategory};
     use crate::program::{Instr, Program, Segment};
@@ -487,14 +230,47 @@ mod tests {
     }
 
     #[test]
-    fn cycle_limit_fires() {
+    fn cycle_limit_fires_with_diagnostics() {
         let opts = SimOptions {
             max_cycles_per_invocation: 50,
             record_epochs: false,
         };
         let err =
             simulate_with(&small_config(), &alu_kernel(64), &mut StaticGovernor, opts).unwrap_err();
-        assert!(matches!(err, SimError::CycleLimit { .. }));
+        match err {
+            SimError::CycleLimit {
+                limit,
+                executed,
+                active_blocks,
+                resident_warps,
+                ..
+            } => {
+                assert_eq!(limit, 50);
+                assert!(executed > limit, "executed count covers the overrun");
+                assert!(active_blocks > 0, "blocks were still resident at abort");
+                assert!(resident_warps > 0, "warps were still resident at abort");
+            }
+            other => panic!("expected CycleLimit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_limit_display_mentions_occupancy() {
+        let err = SimError::CycleLimit {
+            kernel: "k".into(),
+            invocation: 0,
+            limit: 10,
+            executed: 17,
+            active_blocks: 3,
+            paused_blocks: 1,
+            resident_warps: 12,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("exceeded 10 SM cycles"));
+        assert!(msg.contains("executed 17"));
+        assert!(msg.contains("3 active"));
+        assert!(msg.contains("1 paused"));
+        assert!(msg.contains("12 resident warps"));
     }
 
     #[test]
@@ -523,11 +299,35 @@ mod tests {
     }
 
     #[test]
-    fn epoch_records_are_collected() {
-        let k = alu_kernel(64);
+    fn epoch_records_are_collected_deterministically() {
+        // 2000 iterations of 2 instructions across 64 blocks on 2 SMs is
+        // far beyond two 4096-cycle epochs, so the timeline is guaranteed
+        // non-empty — no conditional escape hatch.
+        let k = KernelSpec::new(
+            "gpu-epochs",
+            KernelCategory::Compute,
+            4,
+            8,
+            vec![Invocation {
+                grid_blocks: 64,
+                program: Arc::new(Program::new(vec![Segment::new(
+                    vec![Instr::alu(), Instr::alu_dep()],
+                    2000,
+                )])),
+            }],
+        );
         let stats = simulate(&small_config(), &k, &mut StaticGovernor).unwrap();
-        if stats.sm_cycles_at.iter().sum::<u64>() >= 4096 {
-            assert!(!stats.epochs.is_empty());
+        assert!(
+            stats.sm_cycles_at.iter().sum::<u64>() >= 2 * 4096,
+            "kernel must span at least two epochs"
+        );
+        assert!(stats.epochs.len() >= 2);
+        for (i, rec) in stats.epochs.iter().enumerate() {
+            assert_eq!(rec.epoch_index, i as u64 + 1, "epoch indices are dense");
         }
+        for pair in stats.epochs.windows(2) {
+            assert!(pair[0].end_fs < pair[1].end_fs, "epoch times increase");
+        }
+        assert!(stats.epochs.last().map(|r| r.end_fs).unwrap_or(0) <= stats.wall_time_fs);
     }
 }

@@ -74,6 +74,7 @@ pub mod ccws;
 pub mod clock;
 pub mod config;
 pub mod counters;
+pub mod engine;
 pub mod governor;
 pub mod gpu;
 pub mod gwde;
@@ -89,6 +90,7 @@ pub mod warp;
 pub mod prelude {
     pub use crate::config::{CacheConfig, ClockConfig, Femtos, GpuConfig, VfLevel};
     pub use crate::counters::{WarpState, WarpStateCounters};
+    pub use crate::engine::{BlockEvent, Engine, Observer, Recorder, StepEvent, VfDomain};
     pub use crate::governor::{
         EpochContext, EpochDecision, FixedBlocksGovernor, Governor, SmEpochReport, StaticGovernor,
         VfRequest,

@@ -1,0 +1,163 @@
+//! Execution pipelines: memory-response delivery and the LD/ST unit.
+//!
+//! The respond stage drains interconnect responses and matured local L1
+//! hits back into waiting warps; the LSU drains one cache-line access per
+//! cycle through the L1/MSHR/interconnect path (textures bypass the L1).
+
+use std::cmp::Reverse;
+
+use crate::cache::Lookup;
+use crate::config::Femtos;
+use crate::memsys::{MemReq, MemSystem};
+use crate::program::MemSpace;
+
+use super::Sm;
+
+impl Sm {
+    /// Delivers memory responses (global/texture) and matured local L1
+    /// hits. A load completion can be the last outstanding work of an
+    /// already-finished warp, so block completion is re-checked.
+    pub(super) fn respond_stage(
+        &mut self,
+        now: Femtos,
+        mem: &mut MemSystem,
+        completed_blocks: &mut Vec<usize>,
+    ) {
+        let mut buf = std::mem::take(&mut self.resp_buf);
+        buf.clear();
+        mem.drain_ready(self.id, now, &mut buf);
+        for token in buf.drain(..) {
+            if let Some(waiters) = self.mshr.remove(&token) {
+                for ws in waiters {
+                    self.deliver_load(ws, completed_blocks);
+                }
+            }
+        }
+        self.resp_buf = buf;
+        while let Some(&Reverse((t, ws))) = self.local_ready.peek() {
+            if t > now {
+                break;
+            }
+            self.local_ready.pop();
+            self.deliver_load(ws, completed_blocks);
+        }
+    }
+
+    /// Decrements a warp's outstanding-load count and re-checks block
+    /// completion when the load was the warp's last outstanding work.
+    fn deliver_load(&mut self, ws: usize, completed: &mut Vec<usize>) {
+        let (drained, slot) = {
+            let Some(w) = self.warps[ws].as_mut() else {
+                // Blocks only retire once every warp's loads have drained,
+                // so a response must never land on a vacated slot.
+                crate::validate_assert!(
+                    false,
+                    "load response for vacated warp slot {ws} on SM {}",
+                    self.id
+                );
+                return;
+            };
+            w.complete_load();
+            (w.finished && w.pending_loads == 0, w.block_slot)
+        };
+        if drained {
+            self.check_block_done(slot, completed);
+        }
+    }
+
+    /// Drains one cache-line access from the LD/ST queue head: L1 probe,
+    /// MSHR merge, or interconnect injection. A full MSHR file or a
+    /// back-pressured interconnect stalls the head of line.
+    pub(super) fn lsu_step(
+        &mut self,
+        now: Femtos,
+        li: usize,
+        period_fs: Femtos,
+        mem: &mut MemSystem,
+    ) {
+        let Some(head) = self.lsu.front().copied() else {
+            return;
+        };
+        let addr = self.addr_gen.line_addr(
+            head.instr.pattern,
+            self.id,
+            head.warp_uid,
+            head.mem_counter,
+            head.next_access,
+        );
+        let line = addr / self.l1.config().line_bytes;
+        let is_tex = head.instr.space == MemSpace::Texture;
+
+        let progressed = if is_tex {
+            // Texture path: bypass L1; deep queue hides back-pressure.
+            if let Some(waiters) = self.mshr.get_mut(&line) {
+                if head.instr.is_load {
+                    waiters.push(head.warp_slot);
+                }
+                true
+            } else if self.mshr.len() < self.mshr_cap && mem.can_accept(true) {
+                mem.inject(MemReq {
+                    sm: self.id,
+                    token: line,
+                    addr,
+                    is_load: head.instr.is_load,
+                    texture: true,
+                });
+                if head.instr.is_load {
+                    self.mshr.insert(line, vec![head.warp_slot]);
+                }
+                true
+            } else {
+                false
+            }
+        } else if let Some(waiters) = self.mshr.get_mut(&line) {
+            // Secondary miss: merge into the outstanding MSHR.
+            self.events[li].l1_accesses += 1;
+            if head.instr.is_load {
+                waiters.push(head.warp_slot);
+            }
+            true
+        } else if self.l1.contains(addr) {
+            self.events[li].l1_accesses += 1;
+            self.events[li].l1_hits += 1;
+            let hit = self.l1.access(addr);
+            debug_assert_eq!(hit, Lookup::Hit);
+            if head.instr.is_load {
+                let ready = now + Femtos::from(self.l1_hit_latency) * period_fs;
+                self.local_ready.push(Reverse((ready, head.warp_slot)));
+            }
+            true
+        } else if self.mshr.len() < self.mshr_cap && mem.can_accept(false) {
+            // Primary miss with room to proceed.
+            self.events[li].l1_accesses += 1;
+            let miss = self.l1.access(addr);
+            debug_assert_eq!(miss, Lookup::Miss);
+            if let Some(ccws) = &mut self.ccws {
+                ccws.on_l1_miss(head.warp_slot, line);
+            }
+            mem.inject(MemReq {
+                sm: self.id,
+                token: line,
+                addr,
+                is_load: head.instr.is_load,
+                texture: false,
+            });
+            if head.instr.is_load {
+                self.mshr.insert(line, vec![head.warp_slot]);
+            }
+            true
+        } else {
+            // MSHRs exhausted or interconnect full: head-of-line stall.
+            false
+        };
+
+        if progressed {
+            if let Some(head) = self.lsu.front_mut() {
+                head.next_access += 1;
+                if head.next_access >= u32::from(head.instr.accesses) {
+                    self.lsu.pop_front();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Issue stage: the scheduler walk and warp-state classification.
+//!
+//! Once per cycle the SM walks resident warps oldest-block-first and
+//! classifies each unpaused warp into the paper's states — `Issued`,
+//! `Waiting`, `ExcessAlu`, `ExcessMem` or `Others` — issuing up to
+//! `issue_width` instructions split across the ALU and memory ports.
+
+use crate::config::Femtos;
+use crate::counters::{CycleSnapshot, WarpState};
+use crate::program::Instr;
+
+use super::{BlockState, LsuEntry, Sm};
+
+impl Sm {
+    /// Rebuilds the oldest-block-first scheduler walk order over the
+    /// unpaused resident blocks.
+    fn rebuild_order(&mut self) {
+        self.sched_order.clear();
+        let mut blocks: Vec<&BlockState> =
+            self.blocks.iter().flatten().filter(|b| !b.paused).collect();
+        blocks.sort_by_key(|b| b.launch_seq);
+        for b in blocks {
+            self.sched_order.extend_from_slice(&b.warp_slots);
+        }
+        self.order_dirty = false;
+    }
+
+    /// The per-cycle issue stage: classifies every schedulable warp and
+    /// issues up to the port limits, returning the cycle's warp-state
+    /// snapshot. Blocks whose last warp finishes are appended to
+    /// `completed_blocks` for the retire stage.
+    pub(super) fn issue_stage(
+        &mut self,
+        now: Femtos,
+        li: usize,
+        period_fs: Femtos,
+        completed_blocks: &mut Vec<usize>,
+    ) -> CycleSnapshot {
+        if self.order_dirty {
+            self.rebuild_order();
+        }
+        let mut snap = CycleSnapshot::default();
+        let mut issued_total = 0usize;
+        let mut issued_alu = 0usize;
+        let mut issued_mem = 0usize;
+
+        // No program means no resident warps; the scheduler walk below is
+        // then a no-op, so skipping it keeps the statistics identical.
+        let program = self.program.clone();
+        for oi in 0..self.sched_order.len() {
+            let Some(program) = program.as_deref() else {
+                break;
+            };
+            let ws = self.sched_order[oi];
+            let Some(warp) = self.warps[ws].as_mut() else {
+                continue;
+            };
+            if warp.finished || warp.at_barrier {
+                snap.record(WarpState::Others);
+                continue;
+            }
+            if warp.stagger > 0 {
+                warp.stagger -= 1;
+                snap.record(WarpState::Waiting);
+                continue;
+            }
+            if !warp.scoreboard_ready(now) {
+                snap.record(WarpState::Waiting);
+                continue;
+            }
+            let block_index = warp.block_index;
+            let Some(&instr) = warp.pc.fetch(program, block_index) else {
+                crate::validate_assert!(false, "unfinished warp has no instruction");
+                snap.record(WarpState::Others);
+                continue;
+            };
+            match instr {
+                Instr::Alu { dep } => {
+                    if issued_total < self.issue_width && issued_alu < self.max_alu_issue {
+                        issued_total += 1;
+                        issued_alu += 1;
+                        let alu_ready = now + Femtos::from(self.alu_latency) * period_fs;
+                        if dep {
+                            warp.ready_at = alu_ready;
+                        }
+                        let finished = !warp.pc.advance(program, block_index);
+                        if finished {
+                            warp.finished = true;
+                        }
+                        let block_slot = warp.block_slot;
+                        self.events[li].issued += 1;
+                        self.events[li].alu_ops += 1;
+                        if finished {
+                            self.check_block_done(block_slot, completed_blocks);
+                        }
+                        snap.record(WarpState::Issued);
+                    } else {
+                        snap.record(WarpState::ExcessAlu);
+                    }
+                }
+                Instr::Mem(mi) => {
+                    let ccws_ok = self.ccws.as_ref().is_none_or(|c| c.may_issue_mem(ws));
+                    if ccws_ok
+                        && issued_total < self.issue_width
+                        && issued_mem < self.max_mem_issue
+                        && self.lsu.len() < self.lsu_cap
+                    {
+                        issued_total += 1;
+                        issued_mem += 1;
+                        let counter = warp.mem_counter;
+                        warp.mem_counter += 1;
+                        if mi.is_load {
+                            warp.pending_loads += u32::from(mi.accesses);
+                        }
+                        let finished = !warp.pc.advance(program, block_index);
+                        if finished {
+                            warp.finished = true;
+                        }
+                        let (block_slot, uid) = (warp.block_slot, warp.uid);
+                        self.events[li].issued += 1;
+                        self.events[li].mem_instrs += 1;
+                        self.lsu.push_back(LsuEntry {
+                            warp_slot: ws,
+                            warp_uid: uid,
+                            instr: mi,
+                            mem_counter: counter,
+                            next_access: 0,
+                        });
+                        if finished {
+                            self.check_block_done(block_slot, completed_blocks);
+                        }
+                        snap.record(WarpState::Issued);
+                    } else {
+                        snap.record(WarpState::ExcessMem);
+                    }
+                }
+                Instr::Sync => {
+                    let finished = !warp.pc.advance(program, block_index);
+                    if finished {
+                        warp.finished = true;
+                    } else {
+                        warp.at_barrier = true;
+                    }
+                    let block_slot = warp.block_slot;
+                    if finished {
+                        self.check_block_done(block_slot, completed_blocks);
+                    } else {
+                        self.maybe_release_barrier(block_slot);
+                    }
+                    snap.record(WarpState::Others);
+                }
+            }
+        }
+        snap
+    }
+}

@@ -7,19 +7,32 @@
 //! instructions. The LD/ST unit drains one cache-line access per cycle;
 //! a full LSU queue or a back-pressured interconnect leaves memory-ready
 //! warps in the `ExcessMem` state — the signal Equalizer keys on.
+//!
+//! The implementation is organised by pipeline stage:
+//!
+//! - [`mod@self`] — the [`Sm`] state, per-cycle orchestration and
+//!   epoch/statistics plumbing;
+//! - `issue` — the scheduler walk and warp-state classification;
+//! - `exec` — response delivery and the ALU/LSU execution pipelines;
+//! - `blocks` — thread-block residency: launch, pause/unpause, fill and
+//!   retirement.
+
+mod blocks;
+mod exec;
+mod issue;
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::Arc;
 
-use crate::cache::{Cache, Lookup};
+use crate::cache::Cache;
 use crate::ccws::CcwsState;
 use crate::config::{Femtos, GpuConfig, VfLevel};
-use crate::counters::{CycleSnapshot, WarpState, WarpStateCounters};
+use crate::counters::{CycleSnapshot, WarpStateCounters};
 use crate::gwde::Gwde;
 use crate::kernel::KernelSpec;
-use crate::memsys::{MemReq, MemSystem};
-use crate::program::{AddressGen, Instr, MemInstr, MemSpace, Program};
+use crate::memsys::MemSystem;
+use crate::program::{AddressGen, MemInstr, Program};
 use crate::warp::Warp;
 
 /// SM-side event counts, indexed by the SM-domain VF level at event time.
@@ -185,21 +198,6 @@ impl Sm {
         );
     }
 
-    /// Number of unpaused resident blocks.
-    pub fn active_blocks(&self) -> usize {
-        self.blocks.iter().flatten().filter(|b| !b.paused).count()
-    }
-
-    /// Number of paused resident blocks.
-    pub fn paused_blocks(&self) -> usize {
-        self.blocks.iter().flatten().filter(|b| b.paused).count()
-    }
-
-    /// The runtime's current concurrency target for this SM.
-    pub fn target_blocks(&self) -> usize {
-        self.target_blocks
-    }
-
     /// The effective resident-block limit for the current kernel.
     pub fn resident_limit(&self) -> usize {
         self.resident_limit
@@ -208,24 +206,6 @@ impl Sm {
     /// Warps per block of the current kernel.
     pub fn w_cta(&self) -> usize {
         self.w_cta
-    }
-
-    /// Total blocks completed on this SM in the current run.
-    pub fn blocks_completed(&self) -> u64 {
-        self.blocks_completed
-    }
-
-    /// Grid indices of the currently resident blocks (paused included),
-    /// in launch order. Useful for debugging and trace inspection.
-    pub fn resident_block_indices(&self) -> Vec<u64> {
-        let mut blocks: Vec<(u64, u64)> = self
-            .blocks
-            .iter()
-            .flatten()
-            .map(|b| (b.launch_seq, b.block_index))
-            .collect();
-        blocks.sort_unstable();
-        blocks.into_iter().map(|(_, idx)| idx).collect()
     }
 
     /// Per-level issue/cache event counts.
@@ -246,92 +226,6 @@ impl Sm {
     /// Whole-run accumulated warp-state counters (Figure 4 data).
     pub fn run_counters(&self) -> &WarpStateCounters {
         &self.run_total
-    }
-
-    /// Sets the concurrency target, pausing or unpausing blocks as needed.
-    ///
-    /// The target is clamped to `1..=resident_limit`.
-    pub fn set_target_blocks(&mut self, target: usize) {
-        self.target_blocks = target.clamp(1, self.resident_limit);
-        // Pause youngest active blocks while above target.
-        while self.active_blocks() > self.target_blocks {
-            let Some(victim) = self
-                .blocks
-                .iter_mut()
-                .flatten()
-                .filter(|b| !b.paused)
-                .max_by_key(|b| b.launch_seq)
-            else {
-                break;
-            };
-            victim.paused = true;
-            self.order_dirty = true;
-        }
-        // Unpausing to meet a raised target happens in `fill`.
-    }
-
-    /// Unpauses blocks and fetches new ones from the GWDE until the SM
-    /// meets its concurrency target (or runs out of work/slots).
-    pub fn fill(&mut self, gwde: &mut Gwde) {
-        while self.active_blocks() < self.target_blocks {
-            // Prefer resuming a paused block (paper §IV-B: no new GWDE
-            // request is made while paused blocks exist).
-            if let Some(b) = self
-                .blocks
-                .iter_mut()
-                .flatten()
-                .filter(|b| b.paused)
-                .min_by_key(|b| b.launch_seq)
-            {
-                b.paused = false;
-                self.order_dirty = true;
-                continue;
-            }
-            let Some(slot) = self.free_block_slot() else {
-                break;
-            };
-            let Some(block_index) = gwde.dispatch() else {
-                break;
-            };
-            self.launch_block(slot, block_index);
-        }
-    }
-
-    fn free_block_slot(&self) -> Option<usize> {
-        (0..self.resident_limit.min(self.blocks.len())).find(|&s| self.blocks[s].is_none())
-    }
-
-    fn launch_block(&mut self, slot: usize, block_index: u64) {
-        let base = slot * self.w_cta;
-        let mut warp_slots = Vec::with_capacity(self.w_cta);
-        for i in 0..self.w_cta {
-            let ws = base + i;
-            debug_assert!(self.warps[ws].is_none(), "warp slot collision");
-            let uid = block_index * self.w_cta as u64 + i as u64;
-            let mut warp = Warp::new(ws, uid, slot, block_index);
-            warp.stagger = i as u32 * self.warp_launch_stagger;
-            self.warps[ws] = Some(warp);
-            warp_slots.push(ws);
-        }
-        self.blocks[slot] = Some(BlockState {
-            block_index,
-            warp_slots,
-            paused: false,
-            launch_seq: self.launch_seq,
-        });
-        self.launch_seq += 1;
-        self.order_dirty = true;
-    }
-
-    fn rebuild_order(&mut self) {
-        self.sched_order.clear();
-        let mut blocks: Vec<&BlockState> =
-            self.blocks.iter().flatten().filter(|b| !b.paused).collect();
-        blocks.sort_by_key(|b| b.launch_seq);
-        for b in blocks {
-            self.sched_order.extend_from_slice(&b.warp_slots);
-        }
-        self.order_dirty = false;
     }
 
     /// Whether any block (active or paused) is still resident.
@@ -363,26 +257,7 @@ impl Sm {
         let mut completed_blocks: Vec<usize> = Vec::new();
 
         // 1. Deliver memory responses (global/texture) and local L1 hits.
-        //    A load completion can be the last outstanding work of an
-        //    already-finished warp, so block completion is re-checked.
-        let mut buf = std::mem::take(&mut self.resp_buf);
-        buf.clear();
-        mem.drain_ready(self.id, now, &mut buf);
-        for token in buf.drain(..) {
-            if let Some(waiters) = self.mshr.remove(&token) {
-                for ws in waiters {
-                    self.deliver_load(ws, &mut completed_blocks);
-                }
-            }
-        }
-        self.resp_buf = buf;
-        while let Some(&Reverse((t, ws))) = self.local_ready.peek() {
-            if t > now {
-                break;
-            }
-            self.local_ready.pop();
-            self.deliver_load(ws, &mut completed_blocks);
-        }
+        self.respond_stage(now, mem, &mut completed_blocks);
 
         // 2. LD/ST unit: one cache-line access per cycle, head-of-line.
         self.lsu_step(now, li, period_fs, mem);
@@ -395,121 +270,7 @@ impl Sm {
         }
 
         // 4. Issue stage: classify and issue warps oldest-block-first.
-        if self.order_dirty {
-            self.rebuild_order();
-        }
-        let mut snap = CycleSnapshot::default();
-        let mut issued_total = 0usize;
-        let mut issued_alu = 0usize;
-        let mut issued_mem = 0usize;
-
-        // No program means no resident warps; the scheduler walk below is
-        // then a no-op, so skipping it keeps the statistics identical.
-        let program = self.program.clone();
-        for oi in 0..self.sched_order.len() {
-            let Some(program) = program.as_deref() else {
-                break;
-            };
-            let ws = self.sched_order[oi];
-            let Some(warp) = self.warps[ws].as_mut() else {
-                continue;
-            };
-            if warp.finished || warp.at_barrier {
-                snap.record(WarpState::Others);
-                continue;
-            }
-            if warp.stagger > 0 {
-                warp.stagger -= 1;
-                snap.record(WarpState::Waiting);
-                continue;
-            }
-            if !warp.scoreboard_ready(now) {
-                snap.record(WarpState::Waiting);
-                continue;
-            }
-            let block_index = warp.block_index;
-            let Some(&instr) = warp.pc.fetch(program, block_index) else {
-                crate::validate_assert!(false, "unfinished warp has no instruction");
-                snap.record(WarpState::Others);
-                continue;
-            };
-            match instr {
-                Instr::Alu { dep } => {
-                    if issued_total < self.issue_width && issued_alu < self.max_alu_issue {
-                        issued_total += 1;
-                        issued_alu += 1;
-                        let alu_ready = now + Femtos::from(self.alu_latency) * period_fs;
-                        if dep {
-                            warp.ready_at = alu_ready;
-                        }
-                        let finished = !warp.pc.advance(program, block_index);
-                        if finished {
-                            warp.finished = true;
-                        }
-                        let block_slot = warp.block_slot;
-                        self.events[li].issued += 1;
-                        self.events[li].alu_ops += 1;
-                        if finished {
-                            self.check_block_done(block_slot, &mut completed_blocks);
-                        }
-                        snap.record(WarpState::Issued);
-                    } else {
-                        snap.record(WarpState::ExcessAlu);
-                    }
-                }
-                Instr::Mem(mi) => {
-                    let ccws_ok = self.ccws.as_ref().is_none_or(|c| c.may_issue_mem(ws));
-                    if ccws_ok
-                        && issued_total < self.issue_width
-                        && issued_mem < self.max_mem_issue
-                        && self.lsu.len() < self.lsu_cap
-                    {
-                        issued_total += 1;
-                        issued_mem += 1;
-                        let counter = warp.mem_counter;
-                        warp.mem_counter += 1;
-                        if mi.is_load {
-                            warp.pending_loads += u32::from(mi.accesses);
-                        }
-                        let finished = !warp.pc.advance(program, block_index);
-                        if finished {
-                            warp.finished = true;
-                        }
-                        let (block_slot, uid) = (warp.block_slot, warp.uid);
-                        self.events[li].issued += 1;
-                        self.events[li].mem_instrs += 1;
-                        self.lsu.push_back(LsuEntry {
-                            warp_slot: ws,
-                            warp_uid: uid,
-                            instr: mi,
-                            mem_counter: counter,
-                            next_access: 0,
-                        });
-                        if finished {
-                            self.check_block_done(block_slot, &mut completed_blocks);
-                        }
-                        snap.record(WarpState::Issued);
-                    } else {
-                        snap.record(WarpState::ExcessMem);
-                    }
-                }
-                Instr::Sync => {
-                    let finished = !warp.pc.advance(program, block_index);
-                    if finished {
-                        warp.finished = true;
-                    } else {
-                        warp.at_barrier = true;
-                    }
-                    let block_slot = warp.block_slot;
-                    if finished {
-                        self.check_block_done(block_slot, &mut completed_blocks);
-                    } else {
-                        self.maybe_release_barrier(block_slot);
-                    }
-                    snap.record(WarpState::Others);
-                }
-            }
-        }
+        let snap = self.issue_stage(now, li, period_fs, &mut completed_blocks);
 
         // 5. Retire completed blocks and backfill.
         if !completed_blocks.is_empty() {
@@ -534,115 +295,6 @@ impl Sm {
             self.run_total.sample(&snap);
         }
         self.snapshot = snap;
-    }
-
-    /// Decrements a warp's outstanding-load count and re-checks block
-    /// completion when the load was the warp's last outstanding work.
-    fn deliver_load(&mut self, ws: usize, completed: &mut Vec<usize>) {
-        let (drained, slot) = {
-            let Some(w) = self.warps[ws].as_mut() else {
-                // Blocks only retire once every warp's loads have drained,
-                // so a response must never land on a vacated slot.
-                crate::validate_assert!(
-                    false,
-                    "load response for vacated warp slot {ws} on SM {}",
-                    self.id
-                );
-                return;
-            };
-            w.complete_load();
-            (w.finished && w.pending_loads == 0, w.block_slot)
-        };
-        if drained {
-            self.check_block_done(slot, completed);
-        }
-    }
-
-    fn lsu_step(&mut self, now: Femtos, li: usize, period_fs: Femtos, mem: &mut MemSystem) {
-        let Some(head) = self.lsu.front().copied() else {
-            return;
-        };
-        let addr = self.addr_gen.line_addr(
-            head.instr.pattern,
-            self.id,
-            head.warp_uid,
-            head.mem_counter,
-            head.next_access,
-        );
-        let line = addr / self.l1.config().line_bytes;
-        let is_tex = head.instr.space == MemSpace::Texture;
-
-        let progressed = if is_tex {
-            // Texture path: bypass L1; deep queue hides back-pressure.
-            if let Some(waiters) = self.mshr.get_mut(&line) {
-                if head.instr.is_load {
-                    waiters.push(head.warp_slot);
-                }
-                true
-            } else if self.mshr.len() < self.mshr_cap && mem.can_accept(true) {
-                mem.inject(MemReq {
-                    sm: self.id,
-                    token: line,
-                    addr,
-                    is_load: head.instr.is_load,
-                    texture: true,
-                });
-                if head.instr.is_load {
-                    self.mshr.insert(line, vec![head.warp_slot]);
-                }
-                true
-            } else {
-                false
-            }
-        } else if let Some(waiters) = self.mshr.get_mut(&line) {
-            // Secondary miss: merge into the outstanding MSHR.
-            self.events[li].l1_accesses += 1;
-            if head.instr.is_load {
-                waiters.push(head.warp_slot);
-            }
-            true
-        } else if self.l1.contains(addr) {
-            self.events[li].l1_accesses += 1;
-            self.events[li].l1_hits += 1;
-            let hit = self.l1.access(addr);
-            debug_assert_eq!(hit, Lookup::Hit);
-            if head.instr.is_load {
-                let ready = now + Femtos::from(self.l1_hit_latency) * period_fs;
-                self.local_ready.push(Reverse((ready, head.warp_slot)));
-            }
-            true
-        } else if self.mshr.len() < self.mshr_cap && mem.can_accept(false) {
-            // Primary miss with room to proceed.
-            self.events[li].l1_accesses += 1;
-            let miss = self.l1.access(addr);
-            debug_assert_eq!(miss, Lookup::Miss);
-            if let Some(ccws) = &mut self.ccws {
-                ccws.on_l1_miss(head.warp_slot, line);
-            }
-            mem.inject(MemReq {
-                sm: self.id,
-                token: line,
-                addr,
-                is_load: head.instr.is_load,
-                texture: false,
-            });
-            if head.instr.is_load {
-                self.mshr.insert(line, vec![head.warp_slot]);
-            }
-            true
-        } else {
-            // MSHRs exhausted or interconnect full: head-of-line stall.
-            false
-        };
-
-        if progressed {
-            if let Some(head) = self.lsu.front_mut() {
-                head.next_access += 1;
-                if head.next_access >= u32::from(head.instr.accesses) {
-                    self.lsu.pop_front();
-                }
-            }
-        }
     }
 
     /// Sanitizer hook (`validate` feature): asserts that the SM holds no
@@ -673,60 +325,13 @@ impl Sm {
             self.id
         );
     }
-
-    fn maybe_release_barrier(&mut self, block_slot: usize) {
-        let Some(block) = self.blocks[block_slot].as_ref() else {
-            return;
-        };
-        let all_arrived = block.warp_slots.iter().all(|&ws| {
-            self.warps[ws]
-                .as_ref()
-                .is_none_or(|w| w.finished || w.at_barrier)
-        });
-        if all_arrived {
-            for &ws in &block.warp_slots.clone() {
-                if let Some(w) = self.warps[ws].as_mut() {
-                    w.at_barrier = false;
-                }
-            }
-        }
-    }
-
-    fn check_block_done(&mut self, block_slot: usize, completed: &mut Vec<usize>) {
-        let Some(block) = self.blocks[block_slot].as_ref() else {
-            return;
-        };
-        // A block is done only when every warp has both executed its last
-        // instruction and drained its outstanding loads — retiring earlier
-        // would let responses alias a reused warp slot.
-        let done = block.warp_slots.iter().all(|&ws| {
-            self.warps[ws]
-                .as_ref()
-                .is_none_or(|w| w.finished && w.pending_loads == 0)
-        });
-        if done && !completed.contains(&block_slot) {
-            completed.push(block_slot);
-        }
-        // A barrier may have been waiting only on warps that finished.
-        self.maybe_release_barrier(block_slot);
-    }
-
-    fn retire_block(&mut self, block_slot: usize) {
-        if let Some(block) = self.blocks[block_slot].take() {
-            for ws in block.warp_slots {
-                self.warps[ws] = None;
-            }
-            self.blocks_completed += 1;
-            self.order_dirty = true;
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::kernel::KernelCategory;
-    use crate::program::Segment;
+    use crate::program::{Instr, MemSpace, Segment};
 
     fn cfg() -> GpuConfig {
         let mut c = GpuConfig::gtx480();
@@ -880,6 +485,21 @@ mod tests {
             8,
             "paused blocks must still complete"
         );
+    }
+
+    #[test]
+    fn resident_warps_tracks_residency() {
+        let c = cfg();
+        let mut sm = Sm::new(0, &c);
+        assert_eq!(sm.resident_warps(), 0);
+        let k = alu_kernel(4, 100, 1000);
+        sm.begin_invocation(&k, 0, k.invocations()[0].program.clone());
+        let mut gwde = Gwde::new(100);
+        sm.fill(&mut gwde);
+        assert_eq!(sm.resident_warps(), 8 * 4, "8 blocks of 4 warps resident");
+        // Pausing keeps blocks (and their warps) resident.
+        sm.set_target_blocks(3);
+        assert_eq!(sm.resident_warps(), 8 * 4);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::memsys::MemLevelStats;
 use crate::sm::SmLevelEvents;
 
 /// Snapshot of one epoch, recorded at the epoch boundary.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochRecord {
     /// Monotonic epoch index within the run.
     pub epoch_index: u64,

@@ -1,0 +1,11 @@
+// A fixture inside a nested module directory, mirroring the
+// `crates/sim/src/sm/{mod,issue,exec,blocks}.rs` layout: files in module
+// subdirectories are library code and keep the full strict rule set.
+
+use std::collections::HashMap; //~ no-std-hashmap
+
+pub fn undocumented_stage_helper() {} //~ pub-docs
+
+fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() //~ no-unwrap
+}

@@ -456,7 +456,11 @@ pub fn classify(rel: &Path) -> FileContext {
     };
     let kind = match rest.first().copied() {
         Some("src") => {
-            if rest.last().copied() == Some("main.rs") || rest.contains(&"bin") {
+            // Only the crate-root `src/main.rs` and the `src/bin/` tree
+            // are binary targets. Anything else under `src/` — including
+            // nested module directories like `src/sm/issue.rs` — compiles
+            // into the library and keeps the strict rules.
+            if rest[1..] == ["main.rs"] || rest.get(1).copied() == Some("bin") {
                 CodeKind::Bin
             } else {
                 CodeKind::Lib
@@ -698,5 +702,41 @@ mod tests {
         let root_test = classify(Path::new("tests/determinism.rs"));
         assert!(!root_test.strict);
         assert_eq!(root_test.kind, CodeKind::Test);
+    }
+
+    #[test]
+    fn classify_keeps_nested_module_dirs_strict() {
+        for path in [
+            "crates/sim/src/sm/mod.rs",
+            "crates/sim/src/sm/issue.rs",
+            "crates/sim/src/sm/exec.rs",
+            "crates/sim/src/sm/blocks.rs",
+        ] {
+            let ctx = classify(Path::new(path));
+            assert_eq!(ctx.kind, CodeKind::Lib, "{path} is library code");
+            assert!(ctx.strict && ctx.docs_required, "{path} keeps sim rules");
+        }
+    }
+
+    #[test]
+    fn classify_limits_bin_to_main_and_bin_tree() {
+        assert_eq!(
+            classify(Path::new("crates/bench/src/bin/fig_tool.rs")).kind,
+            CodeKind::Bin
+        );
+        assert_eq!(
+            classify(Path::new("crates/harness/src/main.rs")).kind,
+            CodeKind::Bin
+        );
+        // A module directory that merely *contains* a segment named `bin`
+        // deeper than src/bin, or a nested main.rs, is still library code.
+        assert_eq!(
+            classify(Path::new("crates/sim/src/engine/bin_packing.rs")).kind,
+            CodeKind::Lib
+        );
+        assert_eq!(
+            classify(Path::new("crates/sim/src/sm/main.rs")).kind,
+            CodeKind::Lib
+        );
     }
 }

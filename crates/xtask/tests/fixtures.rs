@@ -30,15 +30,26 @@ fn expected_markers(source: &str) -> Vec<(String, usize)> {
     out
 }
 
+/// Collects fixture `.rs` files recursively — the corpus mirrors the
+/// workspace's nested module-directory layout (e.g. `crates/sim/src/sm/`),
+/// so fixtures live in subdirectories too.
+fn collect_fixtures(dir: &PathBuf, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("fixtures directory exists") {
+        let path = entry.expect("readable fixture entry").path();
+        if path.is_dir() {
+            collect_fixtures(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
 #[test]
 fn every_fixture_fires_exactly_its_markers() {
     let dir = fixtures_dir();
     let mut checked = 0;
-    let mut entries: Vec<_> = fs::read_dir(&dir)
-        .expect("fixtures directory exists")
-        .map(|e| e.expect("readable fixture entry").path())
-        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
-        .collect();
+    let mut entries: Vec<PathBuf> = Vec::new();
+    collect_fixtures(&dir, &mut entries);
     entries.sort();
     assert!(
         entries.len() >= 9,
@@ -90,6 +101,43 @@ fn allow_fixture_suppresses_instead_of_firing() {
     assert_eq!(report.suppressed.len(), 1, "the allow must be counted");
     assert_eq!(report.suppressed[0].rule, "no-unwrap");
     assert!(!report.suppressed[0].reason.is_empty());
+}
+
+#[test]
+fn nested_fixture_dir_is_scanned() {
+    let mut entries: Vec<PathBuf> = Vec::new();
+    collect_fixtures(&fixtures_dir(), &mut entries);
+    assert!(
+        entries
+            .iter()
+            .any(|p| p.parent().is_some_and(|d| d.ends_with("nested"))),
+        "the nested/ fixture directory must be collected: {entries:?}"
+    );
+}
+
+/// The workspace grew nested module directories under `src/` (the
+/// `crates/sim/src/sm/` split); classification must keep them under the
+/// full strict + docs rule set, and reserve `Bin` for `src/main.rs` and
+/// the `src/bin/` tree only.
+#[test]
+fn nested_module_dirs_classify_as_strict_lib() {
+    use xtask::CodeKind;
+    for path in [
+        "crates/sim/src/sm/mod.rs",
+        "crates/sim/src/sm/issue.rs",
+        "crates/sim/src/sm/exec.rs",
+        "crates/sim/src/sm/blocks.rs",
+        "crates/sim/src/engine.rs",
+    ] {
+        let ctx = xtask::classify(std::path::Path::new(path));
+        assert_eq!(ctx.kind, CodeKind::Lib, "{path}");
+        assert!(ctx.strict, "{path} keeps determinism rules");
+        assert!(ctx.docs_required, "{path} keeps pub-docs");
+    }
+    assert_eq!(
+        xtask::classify(std::path::Path::new("crates/bench/src/bin/figs.rs")).kind,
+        CodeKind::Bin
+    );
 }
 
 #[test]

@@ -1,0 +1,102 @@
+//! Watching a run from the inside: drive the simulator through the
+//! step-wise [`Engine`] with a custom [`Observer`] that narrates epoch
+//! boundaries and VF transitions, then dump the same run as JSON lines
+//! via the harness's [`JsonLinesTrace`].
+//!
+//! ```sh
+//! cargo run --release --example trace_epochs
+//! ```
+
+use equalizer_core::{Equalizer, Mode};
+use equalizer_harness::trace::JsonLinesTrace;
+use equalizer_sim::config::Femtos;
+use equalizer_sim::engine::{BlockEvent, VfDomain};
+use equalizer_sim::governor::{EpochContext, SmEpochReport};
+use equalizer_sim::prelude::*;
+use equalizer_workloads::kernel_by_name;
+
+/// A hand-written observer: prints a one-line commentary per epoch and
+/// per VF transition, and tallies block completions. Observers are
+/// read-only taps — the run below is bit-identical to an unobserved one.
+#[derive(Debug, Default)]
+struct Narrator {
+    blocks_done: u64,
+    transitions: usize,
+}
+
+impl Observer for Narrator {
+    fn on_invocation_start(&mut self, invocation: usize, kernel: &KernelSpec) {
+        println!("-- invocation {invocation} of {} starts", kernel.name());
+    }
+
+    fn on_epoch(&mut self, ctx: &EpochContext, reports: &[SmEpochReport], record: &EpochRecord) {
+        let c = &record.counters;
+        let mem_stalled = c.excess_mem > c.excess_alu;
+        println!(
+            "epoch {:>3} @ {:>7.3} us | {} SMs | {:>4.1} active blocks/SM | sm {} / mem {} | {}",
+            ctx.epoch_index,
+            record.end_fs as f64 / 1e9,
+            reports.len(),
+            record.mean_active_blocks,
+            record.sm_level,
+            record.mem_level,
+            if mem_stalled {
+                "memory-bound"
+            } else {
+                "compute-bound"
+            },
+        );
+    }
+
+    fn on_vf_transition(&mut self, domain: VfDomain, from: VfLevel, to: VfLevel, apply_at: Femtos) {
+        self.transitions += 1;
+        let which = match domain {
+            VfDomain::Sm(i) => format!("SM {i}"),
+            VfDomain::Memory => "memory".to_string(),
+        };
+        println!(
+            "    vf: {which} {from} -> {to} (applies at {:.3} us)",
+            apply_at as f64 / 1e9
+        );
+    }
+
+    fn on_block_event(&mut self, event: BlockEvent) {
+        if let BlockEvent::Completed { count, .. } = event {
+            self.blocks_done += count;
+        }
+    }
+}
+
+fn main() -> Result<(), SimError> {
+    let config = GpuConfig::gtx480();
+    let kernel = kernel_by_name("kmn").expect("kmn is in the Table II catalog");
+
+    // 1. A narrated run: attach the custom observer and let Equalizer
+    //    (performance mode) drive the VF levers.
+    let mut narrator = Narrator::default();
+    let mut governor = Equalizer::new(Mode::Performance, config.num_sms);
+    let mut engine =
+        Engine::new(&config, &kernel, SimOptions::default())?.with_observer(&mut narrator);
+    let stats = engine.run(&mut governor)?;
+    println!(
+        "\nrun complete: {:.3} ms, {} epochs, {} blocks retired, {} VF transitions",
+        stats.time_seconds() * 1e3,
+        stats.epochs.len(),
+        narrator.blocks_done,
+        narrator.transitions,
+    );
+
+    // 2. The same run as machine-readable JSON lines — the harness's
+    //    bundled trace observer. Pipe this into jq or a plotting script.
+    let mut trace = JsonLinesTrace::new();
+    let mut governor = Equalizer::new(Mode::Performance, config.num_sms);
+    let mut engine =
+        Engine::new(&config, &kernel, SimOptions::default())?.with_observer(&mut trace);
+    engine.run(&mut governor)?;
+    println!("\nfirst JSON-lines trace events of the same run:");
+    for line in trace.lines().lines().take(5) {
+        println!("{line}");
+    }
+    println!("... ({} events total)", trace.len());
+    Ok(())
+}

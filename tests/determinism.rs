@@ -105,6 +105,46 @@ fn cache_thrashing_replay_is_bit_identical() {
     }
 }
 
+/// Replaying a run one `Engine::step()` at a time is the same machine as
+/// the one-shot entry point: every counter the simulator publishes must
+/// come back bit-identical.
+#[test]
+fn engine_stepping_replay_is_bit_identical() {
+    use equalizer_core::Equalizer;
+    use equalizer_sim::engine::{Engine, StepEvent};
+    use equalizer_sim::gpu::{simulate_with, SimOptions};
+
+    let config = equalizer_sim::config::GpuConfig::gtx480();
+    let k = kernel_by_name("mmer").unwrap();
+    let mut gov = Equalizer::new(Mode::Performance, config.num_sms);
+    let oneshot = simulate_with(&config, &k, &mut gov, SimOptions::default()).unwrap();
+
+    let mut gov = Equalizer::new(Mode::Performance, config.num_sms);
+    let mut engine = Engine::new(&config, &k, SimOptions::default()).unwrap();
+    while engine.step(&mut gov).unwrap() != StepEvent::Complete {}
+    let stepped = engine.stats();
+
+    assert_eq!(oneshot.wall_time_fs, stepped.wall_time_fs, "wall time");
+    assert_eq!(
+        oneshot.sm_cycles_at, stepped.sm_cycles_at,
+        "SM cycle residency"
+    );
+    assert_eq!(
+        oneshot.mem_cycles_at, stepped.mem_cycles_at,
+        "memory cycle residency"
+    );
+    assert_eq!(
+        oneshot.instructions(),
+        stepped.instructions(),
+        "instructions"
+    );
+    assert_eq!(
+        oneshot.warp_states, stepped.warp_states,
+        "warp-state histogram"
+    );
+    assert_eq!(oneshot.epochs, stepped.epochs, "epoch timeline");
+}
+
 #[test]
 fn energy_model_is_a_pure_function() {
     let r = Runner::gtx480();

@@ -5,7 +5,7 @@
 //! instead of an external benchmark framework so the workspace builds
 //! with no network access.
 
-use equalizer_bench::timing::{bench, BenchOptions};
+use equalizer_bench::timing::{bench, json_report, BenchOptions, BenchResult};
 use equalizer_core::{decide, Equalizer, Mode};
 use equalizer_sim::config::GpuConfig;
 use equalizer_sim::counters::WarpStateCounters;
@@ -21,6 +21,7 @@ fn main() {
         warmup_iters: 1,
         sample_iters: 5,
     };
+    let mut results: Vec<BenchResult> = Vec::new();
 
     println!("=== simulator throughput ===");
     for name in ["mri-q", "cfd-2", "mmer"] {
@@ -31,6 +32,7 @@ fn main() {
             black_box(stats.instructions())
         });
         println!("{r}");
+        results.push(r);
     }
 
     let kernel = kernel_by_name("mmer").expect("catalog kernel");
@@ -40,6 +42,25 @@ fn main() {
         black_box(stats.instructions())
     });
     println!("{r}");
+    results.push(r);
+
+    // A metrics observer attached to the same run: the difference to
+    // `equalizer/mmer` above is the full cost of observability.
+    let r = bench("equalizer+obs/mmer", sim_opts, || {
+        let mut gov = Equalizer::new(Mode::Performance, config.num_sms);
+        let mut obs = equalizer_obs::MetricsObserver::new(equalizer_power::PowerModel::gtx480());
+        let mut engine = equalizer_sim::engine::Engine::new(
+            black_box(&config),
+            black_box(&kernel),
+            equalizer_sim::gpu::SimOptions::default(),
+        )
+        .expect("engine")
+        .with_observer(&mut obs);
+        engine.run(&mut gov).expect("simulation");
+        black_box(engine.stats().instructions())
+    });
+    println!("{r}");
+    results.push(r);
 
     // A one-SM GPU exercises the engine's single-SM fast path, which
     // skips the per-step rotation hash entirely.
@@ -52,6 +73,7 @@ fn main() {
         black_box(stats.instructions())
     });
     println!("{r}");
+    results.push(r);
 
     println!("\n=== decision cost ===");
     let counters = WarpStateCounters {
@@ -71,4 +93,13 @@ fn main() {
         || black_box(decide(black_box(&counters), black_box(8))),
     );
     println!("{r}");
+    results.push(r);
+
+    // Machine-readable results at the repository root so CI and the
+    // growth driver can diff simulator performance across revisions.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sim.json");
+    match std::fs::write(&out, json_report(&results)) {
+        Ok(()) => println!("\nwrote {}", out.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", out.display()),
+    }
 }

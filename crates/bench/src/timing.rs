@@ -66,6 +66,29 @@ fn fmt_ns(ns: u128) -> String {
     }
 }
 
+/// Renders a set of results as a JSON document (the `BENCH_sim.json`
+/// format: an array of `{name, min_ns, median_ns, mean_ns, samples}`
+/// objects in run order).
+pub fn json_report(results: &[BenchResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \
+             \"samples\": {}}}",
+            equalizer_obs::json::escape_json(&r.name),
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.samples
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
 /// Times `f` and returns summary statistics.
 ///
 /// Runs `opts.warmup_iters` untimed iterations, then `opts.sample_iters`
@@ -132,6 +155,30 @@ mod tests {
             || {},
         );
         assert_eq!(r.samples, 1);
+    }
+
+    #[test]
+    fn json_report_is_valid_json() {
+        let results = vec![
+            BenchResult {
+                name: "base\"line".into(),
+                min_ns: 1,
+                median_ns: 2,
+                mean_ns: 3,
+                samples: 4,
+            },
+            BenchResult {
+                name: "other".into(),
+                min_ns: 10,
+                median_ns: 20,
+                mean_ns: 30,
+                samples: 40,
+            },
+        ];
+        let doc = json_report(&results);
+        equalizer_obs::json::validate(&doc).unwrap();
+        assert!(doc.contains("\"median_ns\": 20"));
+        equalizer_obs::json::validate(&json_report(&[])).unwrap();
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Decision audit trail: a structured record of every Equalizer epoch
+//! decision, from counter inputs to the actions that left the governor.
+//!
+//! The paper's §IV rules are simple, but a full run makes thousands of
+//! them; the audit trail answers "why did the runtime boost the memory
+//! clock in epoch 37" by capturing, per epoch and per SM, the averaged
+//! counters Algorithm 1 saw, the tendency it classified, the Table I
+//! votes the mode derived, and the CTA-target / VF-request outcome.
+//! Every field is recomputable from the inputs with [`crate::detect`],
+//! [`crate::propose`], [`crate::table_i_votes`] and
+//! [`crate::freq_manager::tally`], which is exactly how the integration
+//! tests cross-check a live run against the rules.
+
+use equalizer_sim::config::{Femtos, VfLevel};
+use equalizer_sim::governor::VfRequest;
+
+use crate::decision::{AveragedCounters, Tendency};
+use crate::mode::{Action, Mode, Vote};
+
+/// One SM's slice of an epoch decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmAudit {
+    /// SM index.
+    pub sm: usize,
+    /// The averaged warp-state counters Algorithm 1 consumed (`nActive`,
+    /// `nWaiting`, `nALU`, `nMem`).
+    pub inputs: AveragedCounters,
+    /// Samples behind the averages (32 per epoch in the paper).
+    pub samples: u64,
+    /// The tendency Algorithm 1 classified from `inputs`.
+    pub tendency: Tendency,
+    /// The resource verdict fed through Table I.
+    pub action: Option<Action>,
+    /// The block-count change Algorithm 1 proposed (before hysteresis).
+    pub proposed_block_delta: i8,
+    /// This SM's Table I vote for the SM domain.
+    pub sm_vote: Vote,
+    /// This SM's Table I vote for the memory domain.
+    pub mem_vote: Vote,
+    /// The SM's VF level when the decision was made.
+    pub sm_level: VfLevel,
+    /// Concurrency target Equalizer held for this SM before the epoch.
+    pub target_before: usize,
+    /// Concurrency target after hysteresis resolved the proposal.
+    pub target_after: usize,
+}
+
+impl SmAudit {
+    /// Whether hysteresis let the proposed block change through this
+    /// epoch.
+    pub fn block_change_applied(&self) -> bool {
+        self.target_after != self.target_before
+    }
+}
+
+/// One epoch's complete decision, end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Epoch index the decision was made at.
+    pub epoch: u64,
+    /// Invocation the epoch belongs to.
+    pub invocation: usize,
+    /// Absolute simulated time of the epoch boundary.
+    pub now_fs: Femtos,
+    /// The objective the governor was running under.
+    pub mode: Mode,
+    /// Warps per thread block (Algorithm 1's `W_cta` threshold).
+    pub w_cta: usize,
+    /// Hardware resident-block limit targets are clamped to.
+    pub resident_limit: usize,
+    /// Shared SM-domain VF level at decision time.
+    pub sm_level: VfLevel,
+    /// Memory-domain VF level at decision time.
+    pub mem_level: VfLevel,
+    /// Per-SM inputs, classification and outcome.
+    pub sms: Vec<SmAudit>,
+    /// The majority-vote SM-domain request that left the governor
+    /// (`Maintain` when per-SM regulators are in use).
+    pub sm_request: VfRequest,
+    /// Per-SM VF requests when per-SM regulators are in use.
+    pub per_sm_requests: Option<Vec<VfRequest>>,
+    /// The memory-domain request that left the governor.
+    pub mem_request: VfRequest,
+}
+
+impl DecisionRecord {
+    /// A one-line, human-readable explanation of the decision, keyed by
+    /// the dominant (first-SM) tendency.
+    pub fn explain(&self) -> String {
+        let lead = self
+            .sms
+            .first()
+            .map(|s| format!("{:?}", s.tendency))
+            .unwrap_or_else(|| "no SMs".to_string());
+        let changed = self.sms.iter().filter(|s| s.block_change_applied()).count();
+        format!(
+            "epoch {} inv {} [{}] lead tendency {} -> sm {:?} mem {:?}, {} SM target change(s)",
+            self.epoch,
+            self.invocation,
+            self.mode,
+            lead,
+            self.sm_request,
+            self.mem_request,
+            changed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explain_summarises_the_decision() {
+        let rec = DecisionRecord {
+            epoch: 37,
+            invocation: 0,
+            now_fs: 123,
+            mode: Mode::Performance,
+            w_cta: 8,
+            resident_limit: 6,
+            sm_level: VfLevel::Nominal,
+            mem_level: VfLevel::Nominal,
+            sms: vec![SmAudit {
+                sm: 0,
+                inputs: AveragedCounters::default(),
+                samples: 32,
+                tendency: Tendency::HeavyMemory,
+                action: Some(Action::Mem),
+                proposed_block_delta: -1,
+                sm_vote: Vote::Drift,
+                mem_vote: Vote::Up,
+                sm_level: VfLevel::Nominal,
+                target_before: 6,
+                target_after: 5,
+            }],
+            sm_request: VfRequest::Maintain,
+            per_sm_requests: None,
+            mem_request: VfRequest::Increase,
+        };
+        let line = rec.explain();
+        assert!(line.contains("epoch 37"), "{line}");
+        assert!(line.contains("HeavyMemory"), "{line}");
+        assert!(line.contains("1 SM target change(s)"), "{line}");
+        assert!(rec.sms[0].block_change_applied());
+    }
+}

@@ -10,7 +10,8 @@
 use equalizer_sim::governor::{EpochContext, EpochDecision, Governor, SmEpochReport, VfRequest};
 use equalizer_sim::kernel::KernelSpec;
 
-use crate::decision::{decide, SmProposal, Tendency};
+use crate::audit::{DecisionRecord, SmAudit};
+use crate::decision::{decide, AveragedCounters, SmProposal, Tendency};
 use crate::freq_manager::tally;
 use crate::mode::{table_i_votes, Mode, Vote};
 
@@ -53,6 +54,8 @@ pub struct Equalizer {
     per_sm_vrm: bool,
     trace: Vec<TraceEntry>,
     record_trace: bool,
+    audit: Vec<DecisionRecord>,
+    record_audit: bool,
 }
 
 impl Equalizer {
@@ -67,6 +70,8 @@ impl Equalizer {
             per_sm_vrm: false,
             trace: Vec::new(),
             record_trace: false,
+            audit: Vec::new(),
+            record_audit: false,
         }
     }
 
@@ -108,6 +113,24 @@ impl Equalizer {
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
         self
+    }
+
+    /// Enables the full decision audit trail: one [`DecisionRecord`] per
+    /// epoch, carrying every counter input, tendency classification and
+    /// action the governor took (see [`crate::audit`]).
+    pub fn with_audit(mut self) -> Self {
+        self.record_audit = true;
+        self
+    }
+
+    /// The recorded audit trail (empty unless [`Self::with_audit`]).
+    pub fn audit(&self) -> &[DecisionRecord] {
+        &self.audit
+    }
+
+    /// Consumes the governor, yielding the audit trail.
+    pub fn into_audit(self) -> Vec<DecisionRecord> {
+        self.audit
     }
 
     /// The operating mode.
@@ -180,6 +203,7 @@ impl Governor for Equalizer {
         let mut targets: Vec<Option<usize>> = Vec::with_capacity(reports.len());
         let mut first_tendency = None;
         let mut target_sum = 0usize;
+        let mut audit_sms: Vec<SmAudit> = Vec::new();
 
         for (report, state) in reports.iter().zip(self.sms.iter_mut()) {
             let proposal = decide(&report.counters, ctx.w_cta);
@@ -190,7 +214,13 @@ impl Governor for Equalizer {
             sm_votes.push(votes.sm);
             mem_votes.push(votes.mem);
 
-            if self.block_control {
+            // What Equalizer believed before this epoch's hysteresis
+            // update — the reference point for block_change_applied().
+            let target_before = state
+                .target
+                .unwrap_or(report.target_blocks)
+                .clamp(1, ctx.resident_limit);
+            let target_after = if self.block_control {
                 let t = Self::update_block_target(
                     state,
                     &proposal,
@@ -200,9 +230,26 @@ impl Governor for Equalizer {
                 );
                 target_sum += t;
                 targets.push(Some(t));
+                t
             } else {
                 target_sum += report.target_blocks;
                 targets.push(None);
+                target_before
+            };
+            if self.record_audit {
+                audit_sms.push(SmAudit {
+                    sm: report.sm,
+                    inputs: AveragedCounters::from(&report.counters),
+                    samples: report.counters.samples,
+                    tendency: proposal.tendency.unwrap_or(Tendency::Degenerate),
+                    action: proposal.action,
+                    proposed_block_delta: proposal.block_delta,
+                    sm_vote: votes.sm,
+                    mem_vote: votes.mem,
+                    sm_level: report.sm_level,
+                    target_before,
+                    target_after,
+                });
             }
         }
 
@@ -238,6 +285,22 @@ impl Governor for Equalizer {
                 invocation: ctx.invocation,
                 tendency: first_tendency,
                 mean_target: target_sum as f64 / reports.len().max(1) as f64,
+            });
+        }
+        if self.record_audit {
+            self.audit.push(DecisionRecord {
+                epoch: ctx.epoch_index,
+                invocation: ctx.invocation,
+                now_fs: ctx.now_fs,
+                mode: self.mode,
+                w_cta: ctx.w_cta,
+                resident_limit: ctx.resident_limit,
+                sm_level: ctx.sm_level,
+                mem_level: ctx.mem_level,
+                sms: audit_sms,
+                sm_request: sm_vf,
+                per_sm_requests: per_sm_sm_vf.clone(),
+                mem_request: mem_vf,
             });
         }
 
@@ -440,6 +503,41 @@ mod tests {
         eq.on_invocation_start(1, &kernel_dummy);
         let d = eq.epoch(&c, &[report(0, 6, counters_compute_heavy(8))]);
         assert_eq!(d.target_blocks[0], Some(5), "remembered target re-applied");
+    }
+
+    #[test]
+    fn audit_records_full_decision_chain() {
+        let mut eq = Equalizer::new(Mode::Performance, 1)
+            .with_hysteresis(1)
+            .with_audit();
+        let c = ctx(8, 6);
+        eq.epoch(&c, &[report(0, 6, counters_mem_heavy(8))]);
+        let audit = eq.audit();
+        assert_eq!(audit.len(), 1);
+        let rec = &audit[0];
+        assert_eq!(rec.mode, Mode::Performance);
+        assert_eq!(rec.w_cta, 8);
+        assert_eq!(rec.sms.len(), 1);
+        let sm = &rec.sms[0];
+        assert_eq!(sm.tendency, Tendency::HeavyMemory);
+        assert_eq!(sm.action, Some(crate::mode::Action::Mem));
+        assert_eq!(sm.proposed_block_delta, -1);
+        assert_eq!((sm.target_before, sm.target_after), (6, 5));
+        assert!(sm.block_change_applied());
+        assert_eq!(
+            rec.mem_request,
+            VfRequest::Increase,
+            "performance mode boosts the memory bottleneck"
+        );
+        // The recorded inputs must reproduce the recorded tendency.
+        assert_eq!(crate::decision::detect(&sm.inputs, rec.w_cta), sm.tendency);
+    }
+
+    #[test]
+    fn audit_is_empty_unless_enabled() {
+        let mut eq = Equalizer::new(Mode::Performance, 1);
+        eq.epoch(&ctx(8, 6), &[report(0, 6, counters_mem_heavy(8))]);
+        assert!(eq.audit().is_empty());
     }
 
     #[test]

@@ -52,12 +52,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod cost;
 pub mod decision;
 pub mod equalizer;
 pub mod freq_manager;
 pub mod mode;
 
+pub use audit::{DecisionRecord, SmAudit};
 pub use cost::{hardware_cost, HardwareCost};
 pub use decision::{decide, detect, propose, AveragedCounters, SmProposal, Tendency};
 pub use equalizer::{Equalizer, TraceEntry, BLOCK_HYSTERESIS};

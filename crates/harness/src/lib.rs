@@ -24,6 +24,7 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod profile;
 pub mod tables;
 pub mod trace;
 

@@ -92,16 +92,10 @@ fn level(l: VfLevel) -> &'static str {
 
 impl Observer for JsonLinesTrace {
     fn on_invocation_start(&mut self, invocation: usize, kernel: &KernelSpec) {
-        // Kernel names are identifier-like in this suite; escape the two
-        // characters that could break the JSON string anyway.
-        let name: String = kernel
-            .name()
-            .chars()
-            .flat_map(|c| match c {
-                '"' | '\\' => vec!['\\', c],
-                _ => vec![c],
-            })
-            .collect();
+        // Kernel names are identifier-like in this suite, but the trace
+        // must stay valid JSON for any name: control characters (and not
+        // just quote/backslash) need escaping too.
+        let name = equalizer_obs::json::escape_json(kernel.name());
         let _ = write!(
             self.buf,
             "{{\"event\":\"invocation_start\",\"invocation\":{invocation},\"kernel\":\"{name}\",\
@@ -231,6 +225,52 @@ mod tests {
         // Every line is a single JSON object.
         for line in text.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn every_trace_line_is_valid_json() {
+        use equalizer_sim::prelude::*;
+        use std::sync::Arc;
+
+        let program = Arc::new(Program::new(vec![Segment::new(
+            vec![Instr::alu(), Instr::load_streaming(), Instr::alu_dep()],
+            600,
+        )]));
+        // A hostile kernel name: quotes, backslashes, newline, tab and a
+        // raw control character must all be escaped in the trace.
+        let kernel = KernelSpec::new(
+            "ev\"il\\name\n\t\u{1}",
+            KernelCategory::Compute,
+            4,
+            8,
+            vec![Invocation {
+                grid_blocks: 48,
+                program,
+            }],
+        );
+        let mut trace = JsonLinesTrace::new();
+        let mut engine = Engine::new(&GpuConfig::gtx480(), &kernel, SimOptions::default())
+            .unwrap()
+            .with_observer(&mut trace);
+        engine.run(&mut StaticGovernor).unwrap();
+        assert!(!trace.is_empty());
+        for line in trace.lines().lines() {
+            equalizer_obs::json::validate(line)
+                .unwrap_or_else(|e| panic!("invalid JSON line {line:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn equalizer_trace_lines_are_valid_json() {
+        let r = Runner::gtx480();
+        let k = kernel_by_name("mmer").unwrap();
+        let mut trace = JsonLinesTrace::new();
+        r.run_observed(&k, System::Equalizer(Mode::Energy), &mut trace)
+            .unwrap();
+        for line in trace.lines().lines() {
+            equalizer_obs::json::validate(line)
+                .unwrap_or_else(|e| panic!("invalid JSON line {line:?}: {e}"));
         }
     }
 

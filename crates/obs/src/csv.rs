@@ -1,0 +1,104 @@
+//! Per-metric CSV dumps.
+//!
+//! One file per series metric (`<sanitised-name>.csv`) with an
+//! `epoch,t_fs,value` header; histograms export their buckets as
+//! `upper_bound,count`. Values use Rust's shortest-roundtrip float
+//! formatting, which is deterministic, so identical runs dump identical
+//! bytes.
+
+use crate::registry::{Metric, MetricKind, MetricsRegistry};
+
+/// A metric name as a safe file stem: dots and separators become `_`.
+pub fn file_stem(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders one metric as CSV.
+pub fn metric_csv(metric: &Metric) -> String {
+    match &metric.kind {
+        MetricKind::Histogram {
+            bounds,
+            buckets,
+            count,
+            sum,
+        } => {
+            let mut out = String::from("upper_bound,count\n");
+            for (b, c) in bounds.iter().zip(buckets.iter()) {
+                out.push_str(&format!("{b},{c}\n"));
+            }
+            if let Some(overflow) = buckets.last() {
+                out.push_str(&format!("+inf,{overflow}\n"));
+            }
+            out.push_str(&format!("# total={count} sum={sum}\n"));
+            out
+        }
+        _ => {
+            let mut out = String::from("epoch,t_fs,value\n");
+            for p in &metric.points {
+                out.push_str(&format!("{},{},{}\n", p.epoch, p.t_fs, p.value));
+            }
+            out
+        }
+    }
+}
+
+/// Renders every registered metric as `(file name, contents)` pairs, in
+/// registration order.
+pub fn all_csvs(registry: &MetricsRegistry) -> Vec<(String, String)> {
+    registry
+        .metrics()
+        .iter()
+        .map(|m| (format!("{}.csv", file_stem(&m.name)), metric_csv(m)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn file_stems_are_filesystem_safe() {
+        assert_eq!(file_stem("cache.l1.hit_rate"), "cache_l1_hit_rate");
+        assert_eq!(file_stem("sm0.vf/index"), "sm0_vf_index");
+        assert_eq!(file_stem("mri-q"), "mri-q");
+    }
+
+    #[test]
+    fn series_csv_has_header_and_rows() {
+        let mut r = MetricsRegistry::new();
+        let id = r.register_gauge("g", "x").unwrap();
+        r.record(id, 1, 4096, 0.5);
+        r.record(id, 2, 8192, 1.5);
+        let csv = metric_csv(r.get("g").unwrap());
+        assert_eq!(csv, "epoch,t_fs,value\n1,4096,0.5\n2,8192,1.5\n");
+    }
+
+    #[test]
+    fn histogram_csv_lists_buckets() {
+        let mut r = MetricsRegistry::new();
+        let id = r.register_histogram("h", "x", vec![1.0, 2.0]).unwrap();
+        r.observe(id, 0.5).unwrap();
+        r.observe(id, 9.0).unwrap();
+        let csv = metric_csv(r.get("h").unwrap());
+        assert!(csv.starts_with("upper_bound,count\n1,1\n2,0\n+inf,1\n"));
+        assert!(csv.contains("total=2"));
+    }
+
+    #[test]
+    fn all_csvs_follow_registration_order() {
+        let mut r = MetricsRegistry::new();
+        r.register_gauge("zz", "x").unwrap();
+        r.register_gauge("aa", "x").unwrap();
+        let names: Vec<String> = all_csvs(&r).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["zz.csv", "aa.csv"]);
+    }
+}

@@ -1,0 +1,151 @@
+//! The human-readable end-of-run summary: one aligned text table over
+//! every registered metric, plus histogram bucket breakdowns.
+//!
+//! Formatting is fixed-precision and iteration follows registration
+//! order, so the summary is byte-identical across identical runs.
+
+use crate::registry::{MetricKind, MetricsRegistry};
+
+/// Simple fixed-width column table (the obs crate cannot depend on the
+/// harness's table helper without inverting the crate graph).
+fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (i, h) in header.iter().enumerate() {
+        line.push_str(&format!("{:<width$}  ", h, width = widths[i]));
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+fn fmt(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "-".to_string()
+    }
+}
+
+/// Renders the end-of-run summary for every metric in the registry.
+pub fn summary(registry: &MetricsRegistry) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut histograms = String::new();
+    for m in registry.metrics() {
+        match &m.kind {
+            MetricKind::Histogram {
+                bounds,
+                buckets,
+                count,
+                sum,
+            } => {
+                histograms.push_str(&format!(
+                    "\nhistogram {} ({}): {} observation(s), mean {}\n",
+                    m.name,
+                    m.unit,
+                    count,
+                    if *count == 0 {
+                        "-".to_string()
+                    } else {
+                        fmt(sum / *count as f64)
+                    }
+                ));
+                let total = (*count).max(1);
+                for (i, c) in buckets.iter().enumerate() {
+                    let label = match bounds.get(i) {
+                        Some(b) => format!("<= {b}"),
+                        None => "> last".to_string(),
+                    };
+                    let bar_len = (c * 40 / total) as usize;
+                    histograms
+                        .push_str(&format!("  {label:>10}  {c:>8}  {}\n", "#".repeat(bar_len)));
+                }
+            }
+            kind => {
+                let kind_name = match kind {
+                    MetricKind::Counter => "counter",
+                    _ => "gauge",
+                };
+                let (min, mean, max) = m.min_mean_max().unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+                rows.push(vec![
+                    m.name.clone(),
+                    kind_name.to_string(),
+                    m.unit.to_string(),
+                    m.points.len().to_string(),
+                    m.last().map(fmt).unwrap_or_else(|| "-".to_string()),
+                    fmt(min),
+                    fmt(mean),
+                    fmt(max),
+                ]);
+            }
+        }
+    }
+    let mut out = render_table(
+        &[
+            "metric", "kind", "unit", "points", "last", "min", "mean", "max",
+        ],
+        &rows,
+    );
+    out.push_str(&histograms);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn summary_lists_every_metric() {
+        let mut r = MetricsRegistry::new();
+        let g = r.register_gauge("warp.active", "warps").unwrap();
+        r.record(g, 1, 100, 24.0);
+        r.record(g, 2, 200, 26.0);
+        let h = r.register_histogram("h.metric", "x", vec![1.0]).unwrap();
+        r.observe(h, 0.5).unwrap();
+        let s = summary(&r);
+        assert!(s.contains("warp.active"), "{s}");
+        assert!(s.contains("25.0000"), "mean of the series: {s}");
+        assert!(s.contains("histogram h.metric"), "{s}");
+        assert!(s.contains("<= 1"), "{s}");
+    }
+
+    #[test]
+    fn table_columns_align() {
+        let t = render_table(
+            &["a", "bb"],
+            &[
+                vec!["xxxx".into(), "y".into()],
+                vec!["z".into(), "wwww".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a     bb"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn empty_registry_renders_header_only() {
+        let s = summary(&MetricsRegistry::new());
+        assert!(s.starts_with("metric"));
+    }
+}

@@ -86,15 +86,17 @@ pub struct WarpStateCounters {
 }
 
 impl WarpStateCounters {
-    /// Adds one sampled snapshot.
+    /// Adds one sampled snapshot. Saturates instead of wrapping: the real
+    /// hardware counters are narrow and clamp at their maximum, and a
+    /// wrapped sum would silently flip the runtime's tendency decision.
     pub fn sample(&mut self, snap: &CycleSnapshot) {
-        self.active += u64::from(snap.active);
-        self.waiting += u64::from(snap.waiting);
-        self.issued += u64::from(snap.issued);
-        self.excess_alu += u64::from(snap.excess_alu);
-        self.excess_mem += u64::from(snap.excess_mem);
-        self.others += u64::from(snap.others);
-        self.samples += 1;
+        self.active = self.active.saturating_add(u64::from(snap.active));
+        self.waiting = self.waiting.saturating_add(u64::from(snap.waiting));
+        self.issued = self.issued.saturating_add(u64::from(snap.issued));
+        self.excess_alu = self.excess_alu.saturating_add(u64::from(snap.excess_alu));
+        self.excess_mem = self.excess_mem.saturating_add(u64::from(snap.excess_mem));
+        self.others = self.others.saturating_add(u64::from(snap.others));
+        self.samples = self.samples.saturating_add(1);
     }
 
     /// Mean active warps per sample.
@@ -130,17 +132,18 @@ impl WarpStateCounters {
         }
     }
 
-    /// Merges another window into this one.
+    /// Merges another window into this one, saturating on overflow (see
+    /// [`WarpStateCounters::sample`]).
     pub fn merge(&mut self, other: &WarpStateCounters) {
-        self.active += other.active;
-        self.waiting += other.waiting;
-        self.issued += other.issued;
-        self.excess_alu += other.excess_alu;
-        self.excess_mem += other.excess_mem;
-        self.others += other.others;
-        self.samples += other.samples;
-        self.idle_cycles += other.idle_cycles;
-        self.cycles += other.cycles;
+        self.active = self.active.saturating_add(other.active);
+        self.waiting = self.waiting.saturating_add(other.waiting);
+        self.issued = self.issued.saturating_add(other.issued);
+        self.excess_alu = self.excess_alu.saturating_add(other.excess_alu);
+        self.excess_mem = self.excess_mem.saturating_add(other.excess_mem);
+        self.others = self.others.saturating_add(other.others);
+        self.samples = self.samples.saturating_add(other.samples);
+        self.idle_cycles = self.idle_cycles.saturating_add(other.idle_cycles);
+        self.cycles = self.cycles.saturating_add(other.cycles);
     }
 }
 
@@ -202,5 +205,32 @@ mod tests {
         assert_eq!(a.active, 2);
         assert_eq!(a.samples, 14);
         assert_eq!(a.cycles, 18);
+    }
+
+    #[test]
+    fn sample_and_merge_saturate_instead_of_wrapping() {
+        let mut c = WarpStateCounters {
+            active: u64::MAX - 1,
+            samples: u64::MAX,
+            cycles: u64::MAX - 3,
+            ..WarpStateCounters::default()
+        };
+        let mut snap = CycleSnapshot::default();
+        snap.record(WarpState::Issued);
+        snap.record(WarpState::Waiting);
+        c.sample(&snap);
+        assert_eq!(c.active, u64::MAX, "active clamps at the maximum");
+        assert_eq!(c.samples, u64::MAX, "sample count clamps too");
+        assert_eq!(c.issued, 1);
+
+        let other = WarpStateCounters {
+            active: 10,
+            cycles: 10,
+            ..WarpStateCounters::default()
+        };
+        c.merge(&other);
+        assert_eq!(c.active, u64::MAX);
+        assert_eq!(c.cycles, u64::MAX);
+        assert!(c.avg_active() > 0.0, "averages stay finite after clamping");
     }
 }

@@ -30,8 +30,8 @@ use crate::governor::{EpochContext, EpochDecision, Governor, SmEpochReport, VfRe
 use crate::gpu::{SimError, SimOptions};
 use crate::gwde::Gwde;
 use crate::kernel::KernelSpec;
-use crate::memsys::MemSystem;
-use crate::sm::Sm;
+use crate::memsys::{MemLevelStats, MemSystem};
+use crate::sm::{Sm, SmLevelEvents};
 use crate::stats::{EpochRecord, InvocationStats, RunStats};
 
 /// Identifies a clock domain in [`Observer::on_vf_transition`] callbacks.
@@ -62,6 +62,94 @@ pub enum BlockEvent {
         /// The new (clamped) target.
         target: usize,
     },
+}
+
+/// One SM's state at an epoch boundary, as seen by
+/// [`Observer::on_machine_sample`].
+///
+/// Event counts are cumulative over the run; queue occupancies and block
+/// counts are instantaneous. Consumers derive per-epoch rates by diffing
+/// consecutive samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmSample {
+    /// SM index.
+    pub sm: usize,
+    /// The SM's current VF level.
+    pub level: VfLevel,
+    /// Instructions issued so far (all levels).
+    pub issued: u64,
+    /// L1 probes so far.
+    pub l1_accesses: u64,
+    /// L1 hits so far.
+    pub l1_hits: u64,
+    /// Current LD/ST-unit queue occupancy.
+    pub lsu_occupancy: usize,
+    /// Current allocated MSHR entries.
+    pub mshr_occupancy: usize,
+    /// Unpaused resident blocks.
+    pub active_blocks: usize,
+    /// Paused resident blocks.
+    pub paused_blocks: usize,
+    /// The concurrency target.
+    pub target_blocks: usize,
+}
+
+/// A whole-machine state sample taken at an epoch boundary, fed to
+/// [`Observer::on_machine_sample`].
+///
+/// All event/cycle/time aggregates are cumulative since the start of the
+/// run (the same quantities [`Engine::stats`] reports), so observers can
+/// window them into per-epoch deltas without the engine keeping any
+/// additional state. The sample is only assembled when at least one
+/// observer is attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSample {
+    /// Epoch boundary this sample was taken at.
+    pub epoch_index: u64,
+    /// Invocation the epoch belongs to.
+    pub invocation: usize,
+    /// Absolute simulated time of the boundary.
+    pub now_fs: Femtos,
+    /// Number of SMs.
+    pub num_sms: usize,
+    /// Cumulative SM-domain cycles per VF level, averaged over SM clocks.
+    pub sm_cycles_at: [u64; 3],
+    /// Cumulative SM-domain time per VF level, averaged over SM clocks.
+    pub sm_time_at: [Femtos; 3],
+    /// Cumulative memory-domain cycles per VF level.
+    pub mem_cycles_at: [u64; 3],
+    /// Cumulative memory-domain time per VF level.
+    pub mem_time_at: [Femtos; 3],
+    /// Cumulative SM-side events per SM-domain VF level, summed over SMs.
+    pub sm_events: [SmLevelEvents; 3],
+    /// Cumulative memory-side events per memory-domain VF level.
+    pub mem_events: [MemLevelStats; 3],
+    /// The memory domain's current VF level.
+    pub mem_level: VfLevel,
+    /// Current interconnect queue occupancy.
+    pub icnt_occupancy: usize,
+    /// Per-SM state.
+    pub sms: Vec<SmSample>,
+}
+
+impl MachineSample {
+    /// The cumulative machine state repackaged as a [`RunStats`] snapshot
+    /// (without the epoch/invocation timelines), so run-level consumers —
+    /// a power model evaluated over windowed deltas, say — can reuse their
+    /// existing interfaces.
+    pub fn to_run_stats(&self) -> RunStats {
+        RunStats {
+            wall_time_fs: self.now_fs,
+            num_sms: self.num_sms,
+            sm_cycles_at: self.sm_cycles_at,
+            sm_time_at: self.sm_time_at,
+            mem_cycles_at: self.mem_cycles_at,
+            mem_time_at: self.mem_time_at,
+            sm_events: self.sm_events,
+            mem_events: self.mem_events,
+            ..RunStats::default()
+        }
+    }
 }
 
 /// What one call to [`Engine::step`] did.
@@ -104,6 +192,13 @@ pub trait Observer {
     /// summary that [`Recorder`] persists into [`RunStats::epochs`].
     fn on_epoch(&mut self, _ctx: &EpochContext, _reports: &[SmEpochReport], _record: &EpochRecord) {
     }
+
+    /// A machine-state sample taken at the same epoch boundary as
+    /// [`Observer::on_epoch`] (it fires immediately after, with matching
+    /// `epoch_index`). Carries the cumulative cache/memory/power-relevant
+    /// aggregates plus instantaneous queue occupancies; the engine only
+    /// assembles the sample when at least one observer is attached.
+    fn on_machine_sample(&mut self, _sample: &MachineSample) {}
 
     /// The governor's decision scheduled a VF level change on `domain`,
     /// from `from` to `to`, taking effect at `apply_at_fs` (after the VRM
@@ -672,7 +767,82 @@ impl<'o> Engine<'o> {
                 obs.on_epoch(&ctx, &reports, &record);
             }
         }
+        if !self.observers.is_empty() {
+            let sample = self.machine_sample(t);
+            for obs in &mut self.observers {
+                obs.on_machine_sample(&sample);
+            }
+        }
         self.apply_decision(&decision, t);
+    }
+
+    /// Assembles the [`MachineSample`] for an epoch boundary at time `t`.
+    /// Read-only over the machine, so sampling cannot perturb the run.
+    fn machine_sample(&self, t: Femtos) -> MachineSample {
+        let nc = self.sm_clocks.len() as u64;
+        let mut sm_cycles_at = [0u64; 3];
+        let mut sm_time_at = [0u64; 3];
+        for c in &self.sm_clocks {
+            for i in 0..3 {
+                sm_cycles_at[i] += c.cycles_at()[i];
+                sm_time_at[i] += c.time_at()[i];
+            }
+        }
+        for i in 0..3 {
+            sm_cycles_at[i] /= nc;
+            sm_time_at[i] /= nc;
+        }
+        let mut sm_events = [SmLevelEvents::default(); 3];
+        for sm in &self.sms {
+            for (agg, ev) in sm_events.iter_mut().zip(sm.events().iter()) {
+                agg.issued += ev.issued;
+                agg.alu_ops += ev.alu_ops;
+                agg.mem_instrs += ev.mem_instrs;
+                agg.l1_accesses += ev.l1_accesses;
+                agg.l1_hits += ev.l1_hits;
+                agg.busy_cycles += ev.busy_cycles;
+            }
+        }
+        let per_sm_vrm = self.config.per_sm_vrm;
+        let sms = self
+            .sms
+            .iter()
+            .map(|sm| {
+                let clock = if per_sm_vrm {
+                    &self.sm_clocks[sm.id()]
+                } else {
+                    &self.sm_clocks[0]
+                };
+                let ev = sm.events();
+                SmSample {
+                    sm: sm.id(),
+                    level: clock.level(),
+                    issued: ev.iter().map(|e| e.issued).sum(),
+                    l1_accesses: ev.iter().map(|e| e.l1_accesses).sum(),
+                    l1_hits: ev.iter().map(|e| e.l1_hits).sum(),
+                    lsu_occupancy: sm.lsu_occupancy(),
+                    mshr_occupancy: sm.mshr_occupancy(),
+                    active_blocks: sm.active_blocks(),
+                    paused_blocks: sm.paused_blocks(),
+                    target_blocks: sm.target_blocks(),
+                }
+            })
+            .collect();
+        MachineSample {
+            epoch_index: self.epoch_index,
+            invocation: self.inv_idx,
+            now_fs: t,
+            num_sms: self.config.num_sms,
+            sm_cycles_at,
+            sm_time_at,
+            mem_cycles_at: self.mem_clock.cycles_at(),
+            mem_time_at: self.mem_clock.time_at(),
+            sm_events,
+            mem_events: *self.mem.stats(),
+            mem_level: self.mem_clock.level(),
+            icnt_occupancy: self.mem.icnt_occupancy(),
+            sms,
+        }
     }
 
     fn apply_decision(&mut self, decision: &EpochDecision, now: Femtos) {

@@ -90,7 +90,9 @@ pub mod warp;
 pub mod prelude {
     pub use crate::config::{CacheConfig, ClockConfig, Femtos, GpuConfig, VfLevel};
     pub use crate::counters::{WarpState, WarpStateCounters};
-    pub use crate::engine::{BlockEvent, Engine, Observer, Recorder, StepEvent, VfDomain};
+    pub use crate::engine::{
+        BlockEvent, Engine, MachineSample, Observer, Recorder, SmSample, StepEvent, VfDomain,
+    };
     pub use crate::governor::{
         EpochContext, EpochDecision, FixedBlocksGovernor, Governor, SmEpochReport, StaticGovernor,
         VfRequest,

@@ -238,6 +238,16 @@ impl Sm {
         self.lsu.is_empty() && self.mshr.is_empty() && self.local_ready.is_empty()
     }
 
+    /// Current LD/ST-unit queue occupancy (pending line accesses).
+    pub fn lsu_occupancy(&self) -> usize {
+        self.lsu.len()
+    }
+
+    /// Current number of allocated L1 MSHR entries (outstanding misses).
+    pub fn mshr_occupancy(&self) -> usize {
+        self.mshr.len()
+    }
+
     /// Takes and resets the epoch counters.
     pub fn take_epoch(&mut self) -> WarpStateCounters {
         std::mem::take(&mut self.epoch)

@@ -43,7 +43,11 @@ pub struct InvocationStats {
 }
 
 /// Complete statistics for one simulated kernel run.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is field-wise and exact, which is meaningful because the
+/// simulator is deterministic: two runs of the same configuration must
+/// compare equal, and an attached observer must not change the result.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Total simulated wall time.
     pub wall_time_fs: Femtos,

@@ -1,0 +1,25 @@
+//! Fixture: `no-dup-metric-name` — the same metric-name literal passed
+//! to a registry registration call twice.
+
+struct Registry;
+
+impl Registry {
+    fn register_counter(&mut self, _name: &str, _unit: &str) {}
+    fn register_gauge(&mut self, _name: &str, _unit: &str) {}
+    fn register_histogram(&mut self, _name: &str, _unit: &str) {}
+}
+
+fn register_all(r: &mut Registry) {
+    r.register_counter("instructions.total", "instr");
+    r.register_gauge("warp.active.avg", "warps");
+    r.register_gauge("instructions.total", "instr"); //~ no-dup-metric-name
+    r.register_histogram(
+        "warp.active.avg", //~ no-dup-metric-name
+        "warps",
+    );
+    // Computed names are invisible to the rule by design (the per-SM
+    // series use them), and so is anything inside a comment:
+    // register_counter("instructions.total", "instr")
+    let name = format!("sm{}.issue.rate", 3);
+    r.register_gauge(&name, "ipc");
+}

@@ -20,13 +20,20 @@
 //! | `no-unwrap`      | `.unwrap()`, `.expect(`, `panic!`                 | strict crates, lib code |
 //! | `pub-docs`       | undocumented `pub` items                          | docs crates, lib code |
 //! | `no-debug-print` | `dbg!`, `println!`, `print!`                      | all lib code |
+//! | `no-dup-metric-name` | the same metric-name literal registered twice | strict crates, lib code |
 //! | `tagged-todo`    | to-do markers without an issue tag like `(#7)`    | everywhere |
 //! | `malformed-allow`| escape hatch missing rules, reason, or rule typo  | everywhere |
 //!
-//! Strict crates are `crates/sim`, `crates/core` and `crates/power`;
-//! docs crates are `crates/sim` and `crates/core`. `#[cfg(test)]`
-//! regions and `tests/`/`benches/`/`examples/` trees are exempt from
-//! everything except `tagged-todo` and `malformed-allow`.
+//! Strict crates are `crates/sim`, `crates/core`, `crates/power` and
+//! `crates/obs` (the observability layer shares the simulator's
+//! determinism contract); docs crates are `crates/sim`, `crates/core`
+//! and `crates/obs`. `#[cfg(test)]` regions and
+//! `tests/`/`benches/`/`examples/` trees are exempt from everything
+//! except `tagged-todo` and `malformed-allow`.
+//!
+//! `no-dup-metric-name` also runs one cross-file pass per strict crate
+//! during a workspace walk, so two modules of `crates/obs` cannot claim
+//! the same metric name either.
 //!
 //! The escape hatch is a regular comment:
 //!
@@ -56,15 +63,16 @@ pub const RULES: &[&str] = &[
     "no-unwrap",
     "pub-docs",
     "no-debug-print",
+    "no-dup-metric-name",
     "tagged-todo",
     "malformed-allow",
 ];
 
 /// Crates whose library code gets the determinism + robustness rules.
-pub const STRICT_CRATES: &[&str] = &["sim", "core", "power"];
+pub const STRICT_CRATES: &[&str] = &["sim", "core", "power", "obs"];
 
 /// Crates whose public library items must carry doc comments.
-pub const DOCS_CRATES: &[&str] = &["sim", "core"];
+pub const DOCS_CRATES: &[&str] = &["sim", "core", "obs"];
 
 /// Banned tokens for the determinism and robustness rules, with the
 /// message shown when one fires. Matching is token-boundary aware on the
@@ -267,6 +275,91 @@ fn has_token(code: &str, token: &str) -> bool {
     false
 }
 
+/// The registry entry points whose first string-literal argument is a
+/// metric name, for `no-dup-metric-name`.
+const METRIC_REGISTRATION_FNS: &[&str] =
+    &["register_counter", "register_gauge", "register_histogram"];
+
+/// Direct string-literal metric names passed to registration calls
+/// (`register_counter("…")` and friends), as `(1-indexed line, name)`
+/// pairs in source order.
+///
+/// This works on the *raw* source, not the scanner's code view — the
+/// scanner blanks string-literal contents, which is exactly the part
+/// this rule needs. A tiny state machine skips comments (including doc
+/// comments, so doctest code never counts) and pairs each registration
+/// identifier with the next string literal, tolerating whitespace and
+/// line breaks in between; names built with `format!` or passed through
+/// variables are invisible by design.
+pub fn metric_name_literals(source: &str) -> Vec<(usize, String)> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let mut expect_name = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
+            b'"' => {
+                let lit_line = line;
+                i += 1;
+                let mut name = String::new();
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        name.push(bytes[i] as char);
+                        i += 1;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    name.push(bytes[i] as char);
+                    i += 1;
+                }
+                i += 1;
+                if expect_name {
+                    out.push((lit_line, name));
+                    expect_name = false;
+                }
+            }
+            c if c.is_ascii_alphanumeric() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                expect_name = METRIC_REGISTRATION_FNS.contains(&&source[start..i]);
+            }
+            // Punctuation between the identifier and its name argument
+            // (the call's `(`, whitespace) keeps the pairing alive;
+            // anything else — `format!`'s `!`, a variable argument's
+            // `,` — breaks it.
+            b'(' | b' ' | b'\t' | b'\r' => i += 1,
+            _ => {
+                expect_name = false;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
 /// Checks a to-do marker for an issue tag: the keyword must be followed
 /// by `(<non-empty>)`.
 fn todo_is_tagged(comment: &str, at: usize, keyword_len: usize) -> bool {
@@ -418,6 +511,31 @@ pub fn lint_source(file: &Path, source: &str, ctx: FileContext) -> Report {
         }
     }
 
+    // Duplicate metric-name registrations: every name literal may be
+    // registered once per file; the registry rejects duplicates at run
+    // time, and this catches them at lint time. Test regions are exempt
+    // (they register throwaway names deliberately).
+    if ctx.strict && ctx.kind == CodeKind::Lib {
+        let mut first_seen: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
+        for (ln, name) in metric_name_literals(source) {
+            let in_test = scanned.lines.get(ln - 1).is_some_and(|l| l.in_test);
+            if in_test {
+                continue;
+            }
+            match first_seen.get(&name) {
+                Some(&first) => candidates.push((
+                    ln,
+                    "no-dup-metric-name",
+                    format!("metric name \"{name}\" is already registered at line {first}"),
+                )),
+                None => {
+                    first_seen.insert(name, ln);
+                }
+            }
+        }
+    }
+
     // One finding per (rule, line) even when several tokens match.
     candidates.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
     candidates.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
@@ -505,10 +623,59 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     collect_rs_files(root, true, &mut files)?;
     files.sort();
     let mut report = Report::default();
+    // (crate name, metric name) -> first registration site, for the
+    // cross-file half of `no-dup-metric-name`. Within-file duplicates
+    // are found by `lint_source`; this pass only reports a name whose
+    // first registration lives in a *different* file of the same crate.
+    let mut metric_sites: std::collections::BTreeMap<(String, String), (PathBuf, usize)> =
+        std::collections::BTreeMap::new();
     for path in files {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
         let source = fs::read_to_string(&path)?;
-        report.absorb(lint_source(&rel, &source, classify(&rel)));
+        let ctx = classify(&rel);
+        report.absorb(lint_source(&rel, &source, ctx));
+
+        if ctx.strict && ctx.kind == CodeKind::Lib {
+            let crate_name = rel
+                .components()
+                .nth(1)
+                .and_then(|c| c.as_os_str().to_str())
+                .unwrap_or("")
+                .to_string();
+            let scanned = scan::scan(&source);
+            for (ln, name) in metric_name_literals(&source) {
+                if scanned.lines.get(ln - 1).is_some_and(|l| l.in_test) {
+                    continue;
+                }
+                match metric_sites.get(&(crate_name.clone(), name.clone())) {
+                    Some((first_file, first_line)) if *first_file != rel => {
+                        let message = format!(
+                            "metric name \"{name}\" is already registered in {}:{first_line}",
+                            first_file.display()
+                        );
+                        if let Some(allow) = scanned.allow_for("no-dup-metric-name", ln) {
+                            report.suppressed.push(Suppression {
+                                rule: "no-dup-metric-name",
+                                file: rel.clone(),
+                                line: ln,
+                                reason: allow.reason.clone(),
+                            });
+                        } else {
+                            report.findings.push(Finding {
+                                rule: "no-dup-metric-name",
+                                file: rel.clone(),
+                                line: ln,
+                                message,
+                            });
+                        }
+                    }
+                    Some(_) => {}
+                    None => {
+                        metric_sites.insert((crate_name.clone(), name.clone()), (rel.clone(), ln));
+                    }
+                }
+            }
+        }
     }
     Ok(report)
 }
@@ -681,6 +848,44 @@ mod tests {
         };
         let r = lint_str("fn main() { println!(\"hi\"); }", ctx);
         assert!(r.is_clean());
+    }
+
+    #[test]
+    fn duplicate_metric_names_fire_in_strict_lib_code() {
+        let src = "fn f(r: &mut R) {\n    r.register_counter(\"a.b\", \"x\");\n    r.register_gauge(\"a.b\", \"x\");\n}\n";
+        let r = lint_str(src, FileContext::strictest());
+        assert_eq!(rules_fired(&r), vec!["no-dup-metric-name"]);
+        assert_eq!(r.findings[0].line, 3);
+    }
+
+    #[test]
+    fn metric_names_in_tests_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(r: &mut R) {\n        r.register_gauge(\"dup\", \"x\");\n        r.register_gauge(\"dup\", \"x\");\n    }\n}\n";
+        let r = lint_str(src, FileContext::strictest());
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn computed_metric_names_are_invisible() {
+        let src = "fn f(r: &mut R, i: usize) {\n    r.register_gauge(format!(\"sm{i}.x\"), \"x\");\n    r.register_gauge(format!(\"sm{i}.x\"), \"x\");\n}\n";
+        let r = lint_str(src, FileContext::strictest());
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn metric_literal_scanner_pairs_across_lines_and_skips_comments() {
+        let src = "fn f() {\n    // register_gauge(\"commented.out\", \"x\")\n    r.register_histogram(\n        \"h.name\",\n        \"unit\",\n    );\n}\n";
+        let lits = metric_name_literals(src);
+        assert_eq!(lits, vec![(4, "h.name".to_string())]);
+    }
+
+    #[test]
+    fn dup_metric_allow_suppresses() {
+        let src = "fn f(r: &mut R) {\n    r.register_gauge(\"a\", \"x\");\n    // lint: allow(no-dup-metric-name) -- alias kept for compatibility\n    r.register_gauge(\"a\", \"x\");\n}\n";
+        let r = lint_str(src, FileContext::strictest());
+        assert!(r.is_clean(), "{:?}", r.findings);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].rule, "no-dup-metric-name");
     }
 
     #[test]

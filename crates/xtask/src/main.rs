@@ -7,8 +7,9 @@
 //!   per-crate rule coverage; explicit paths are linted under the
 //!   strictest profile. Exits non-zero when findings survive.
 //! * `cargo xtask ci` — the offline CI driver: release build, test
-//!   suite, `validate`-feature test suite, the lint pass, and a
-//!   formatting check (skipped with a warning when rustfmt is absent).
+//!   suite, `validate`-feature test suite, the lint pass, a `sim-report`
+//!   artifact smoke test, and a formatting check (skipped with a warning
+//!   when rustfmt is absent).
 
 use std::env;
 use std::path::PathBuf;
@@ -117,6 +118,33 @@ fn cmd_ci() -> i32 {
     println!("==> lint: workspace scan");
     if cmd_lint(&[]) != 0 {
         eprintln!("==> lint failed");
+        return 1;
+    }
+
+    // Offline observability smoke test: run sim-report on a small
+    // configuration and let its --selfcheck verify the artifacts (the
+    // Perfetto trace must parse as JSON, the CSVs and summary must have
+    // their expected shapes).
+    if !run_step(
+        &cargo,
+        "sim-report smoke",
+        &[
+            "run",
+            "--release",
+            "-p",
+            "equalizer-harness",
+            "--bin",
+            "sim-report",
+            "--",
+            "--workload",
+            "mmer",
+            "--sms",
+            "2",
+            "--out",
+            "target/sim-report-smoke",
+            "--selfcheck",
+        ],
+    ) {
         return 1;
     }
 

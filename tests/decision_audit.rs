@@ -1,0 +1,153 @@
+//! The decision-audit acceptance criterion: every VF transition and
+//! every CTA-target change the engine applies during an Equalizer run
+//! must be matched by an audit record, and every audit record must be
+//! explainable — recomputing Algorithm 1 and the Table I votes from the
+//! recorded counter inputs must reproduce the recorded decision.
+
+use equalizer_core::decision::{detect, propose};
+use equalizer_core::freq_manager::tally;
+use equalizer_core::mode::table_i_votes;
+use equalizer_core::{DecisionRecord, Equalizer, Mode};
+use equalizer_sim::config::{Femtos, GpuConfig, VfLevel};
+use equalizer_sim::engine::{BlockEvent, Engine, Observer, VfDomain};
+use equalizer_sim::governor::VfRequest;
+use equalizer_sim::gpu::SimOptions;
+use equalizer_workloads::kernel_by_name;
+
+/// Collects the engine-applied events an audit record must explain.
+#[derive(Default)]
+struct EventLog {
+    vf: Vec<(VfDomain, VfLevel, VfLevel, Femtos)>,
+    target_changes: Vec<(usize, usize)>,
+}
+
+impl Observer for EventLog {
+    fn on_vf_transition(&mut self, domain: VfDomain, from: VfLevel, to: VfLevel, at_fs: Femtos) {
+        self.vf.push((domain, from, to, at_fs));
+    }
+
+    fn on_block_event(&mut self, event: BlockEvent) {
+        if let BlockEvent::TargetChanged { sm, target } = event {
+            self.target_changes.push((sm, target));
+        }
+    }
+}
+
+fn audited_run(name: &str, mode: Mode) -> (Vec<DecisionRecord>, EventLog) {
+    let config = GpuConfig::gtx480();
+    let kernel = kernel_by_name(name).unwrap();
+    let mut governor = Equalizer::new(mode, config.num_sms).with_audit();
+    let mut log = EventLog::default();
+    let mut engine = Engine::new(&config, &kernel, SimOptions::default())
+        .unwrap()
+        .with_observer(&mut log);
+    engine.run(&mut governor).unwrap();
+    drop(engine);
+    (governor.into_audit(), log)
+}
+
+/// The request direction a `from -> to` move corresponds to.
+fn direction(from: VfLevel, to: VfLevel) -> VfRequest {
+    if to.index() > from.index() {
+        VfRequest::Increase
+    } else {
+        VfRequest::Decrease
+    }
+}
+
+fn request_for(rec: &DecisionRecord, domain: VfDomain) -> VfRequest {
+    match domain {
+        VfDomain::Memory => rec.mem_request,
+        VfDomain::Sm(i) => rec
+            .per_sm_requests
+            .as_ref()
+            .and_then(|v| v.get(i).copied())
+            .unwrap_or(rec.sm_request),
+    }
+}
+
+#[test]
+fn every_applied_action_has_a_matching_audit_record() {
+    let (audit, log) = audited_run("mmer", Mode::Performance);
+    assert!(!audit.is_empty(), "audit trail must be recorded");
+    assert!(
+        !log.vf.is_empty(),
+        "Equalizer moves frequencies on this kernel"
+    );
+
+    for &(domain, from, to, at_fs) in &log.vf {
+        let want = direction(from, to);
+        // The decision precedes the transition (it applies after the
+        // regulator latency); the most recent record at or before the
+        // apply time must have requested this exact move.
+        let rec = audit
+            .iter()
+            .filter(|r| r.now_fs <= at_fs)
+            .max_by_key(|r| r.now_fs)
+            .unwrap_or_else(|| panic!("no audit record precedes transition at {at_fs}"));
+        assert_eq!(
+            request_for(rec, domain),
+            want,
+            "transition {domain:?} {from:?}->{to:?} at {at_fs} unexplained by epoch {}",
+            rec.epoch
+        );
+    }
+
+    for &(sm, target) in &log.target_changes {
+        let explained = audit.iter().any(|rec| {
+            rec.sms
+                .iter()
+                .any(|a| a.sm == sm && a.block_change_applied() && a.target_after == target)
+        });
+        assert!(
+            explained,
+            "target change sm {sm} -> {target} has no matching audit record"
+        );
+    }
+}
+
+#[test]
+fn audit_records_recompute_under_the_paper_rules() {
+    for mode in [Mode::Performance, Mode::Energy] {
+        let (audit, _) = audited_run("mmer", mode);
+        assert!(!audit.is_empty());
+        for rec in &audit {
+            assert_eq!(rec.mode, mode);
+            for sm in &rec.sms {
+                // Algorithm 1: the recorded tendency must follow from the
+                // recorded counter inputs and W_cta.
+                assert_eq!(
+                    detect(&sm.inputs, rec.w_cta),
+                    sm.tendency,
+                    "epoch {} sm {}: tendency not reproducible",
+                    rec.epoch,
+                    sm.sm
+                );
+                // The proposal derived from that tendency.
+                let proposal = propose(sm.tendency);
+                assert_eq!(proposal.block_delta, sm.proposed_block_delta);
+                assert_eq!(proposal.action, sm.action);
+                // Table I: mode + action fix both domain votes.
+                let votes = table_i_votes(rec.mode, sm.action);
+                assert_eq!(votes.sm, sm.sm_vote);
+                assert_eq!(votes.mem, sm.mem_vote);
+                // Block targets stay within the paper's bounds.
+                assert!(sm.target_after >= 1 && sm.target_after <= rec.resident_limit);
+            }
+            // The frequency manager's majority vote over the recorded
+            // per-SM votes must reproduce the recorded requests.
+            assert_eq!(
+                tally(rec.sms.iter().map(|s| s.sm_vote), rec.sm_level),
+                rec.sm_request,
+                "epoch {}: SM tally not reproducible",
+                rec.epoch
+            );
+            assert_eq!(
+                tally(rec.sms.iter().map(|s| s.mem_vote), rec.mem_level),
+                rec.mem_request,
+                "epoch {}: memory tally not reproducible",
+                rec.epoch
+            );
+        }
+    }
+}

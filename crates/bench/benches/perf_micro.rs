@@ -10,7 +10,7 @@ use equalizer_core::{decide, Equalizer, Mode};
 use equalizer_sim::config::GpuConfig;
 use equalizer_sim::counters::WarpStateCounters;
 use equalizer_sim::governor::StaticGovernor;
-use equalizer_sim::gpu::simulate;
+use equalizer_sim::gpu::{simulate, simulate_with, SimOptions};
 use equalizer_workloads::kernel_by_name;
 use std::hint::black_box;
 
@@ -74,6 +74,45 @@ fn main() {
     });
     println!("{r}");
     results.push(r);
+
+    // Parallel two-phase stepping on the full 15-SM GTX 480: the same
+    // kernels serially and with one worker per available core. The
+    // results are bit-identical by contract; only the wall clock moves
+    // (on a single-core host the pair measures pool overhead instead).
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let wide = GpuConfig::gtx480(); // 15 SMs
+    println!("\n=== parallel stepping (15 SMs, {threads} threads) ===");
+    for name in ["mri-q", "mmer"] {
+        let kernel = kernel_by_name(name).expect("catalog kernel");
+        let run = |label: &str, threads: usize| {
+            let opts = SimOptions {
+                threads,
+                ..SimOptions::default()
+            };
+            let r = bench(label, sim_opts, || {
+                let stats = simulate_with(
+                    black_box(&wide),
+                    black_box(&kernel),
+                    &mut StaticGovernor,
+                    opts,
+                )
+                .expect("simulation");
+                black_box(stats.instructions())
+            });
+            println!("{r}");
+            r
+        };
+        let serial = run(&format!("baseline-15sm/{name}"), 1);
+        let parallel = run(&format!("parallel/{name}"), threads);
+        println!(
+            "    speedup {name}: {:.2}x (median, {threads} threads)",
+            serial.median_ns as f64 / parallel.median_ns.max(1) as f64
+        );
+        results.push(serial);
+        results.push(parallel);
+    }
 
     println!("\n=== decision cost ===");
     let counters = WarpStateCounters {

@@ -103,13 +103,38 @@ pub struct Runner {
     options: SimOptions,
 }
 
+/// Resolves the `SIM_THREADS` environment variable into a thread count
+/// for [`SimOptions::threads`].
+///
+/// `SIM_THREADS=max` means all available cores, a number means that many
+/// threads, and anything else (including an unset variable) means serial.
+/// Thread count never changes results — the engine's two-phase cycle is
+/// bit-identical at any setting — so this is purely a wall-clock knob,
+/// which is why an env var (rather than config plumbing through every
+/// call site) is acceptable here.
+pub fn sim_threads_from_env() -> usize {
+    match std::env::var("SIM_THREADS") {
+        Ok(v) if v == "max" => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        Ok(v) => v.parse().unwrap_or(1),
+        Err(_) => 1,
+    }
+}
+
 impl Runner {
     /// A runner over the paper's baseline GTX 480 configuration.
+    ///
+    /// Honours `SIM_THREADS` (see [`sim_threads_from_env`]) so CI can
+    /// exercise the whole suite under the parallel stepping path.
     pub fn gtx480() -> Self {
         Self {
             config: GpuConfig::gtx480(),
             model: PowerModel::gtx480(),
-            options: SimOptions::default(),
+            options: SimOptions {
+                threads: sim_threads_from_env(),
+                ..SimOptions::default()
+            },
         }
     }
 

@@ -20,8 +20,17 @@
 //! A step-driven run is bit-identical to a one-shot run: `step` performs
 //! exactly one iteration of the classic event loop, and observers only
 //! read state. `tests/engine_stepping.rs` pins this property.
+//!
+//! Parallel stepping is deterministic too. Each SM tick is split into a
+//! *local* phase ([`Sm::cycle_local`]) that touches only per-SM state and
+//! a serial *commit* phase ([`Sm::commit`]) executed in the rotated
+//! service order, where interconnect arbitration, back-pressure and GWDE
+//! dispatch are resolved. Only the local phase runs on the worker pool,
+//! so every [`SimOptions::threads`] value yields bit-identical results —
+//! `tests/parallel_determinism.rs` pins that property.
 
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use crate::clock::DomainClock;
 use crate::config::{Femtos, GpuConfig, VfLevel};
@@ -31,6 +40,7 @@ use crate::gpu::{SimError, SimOptions};
 use crate::gwde::Gwde;
 use crate::kernel::KernelSpec;
 use crate::memsys::{MemLevelStats, MemSystem};
+use crate::pool::{lock_sm, Assignment, SmPool};
 use crate::sm::{Sm, SmLevelEvents};
 use crate::stats::{EpochRecord, InvocationStats, RunStats};
 
@@ -285,12 +295,15 @@ pub struct Engine<'o> {
     kernel: KernelSpec,
     options: SimOptions,
 
-    // The machine.
+    // The machine. SMs live in shared cells so the local phase of the
+    // two-phase cycle can run on the worker pool; every serial access
+    // goes through an uncontended `lock_sm`.
     sm_clocks: Vec<DomainClock>,
     mem_clock: DomainClock,
-    sms: Vec<Sm>,
+    sms: Arc<Vec<Mutex<Sm>>>,
     mem: MemSystem,
     gwde: Gwde,
+    pool: Option<SmPool>,
 
     // Epoch bookkeeping. With per-SM VRMs the SM clocks drift apart, so
     // epochs are delimited in wall time (the paper's 4096 cycles at the
@@ -310,11 +323,15 @@ pub struct Engine<'o> {
     inv_start_fs: Femtos,
     phase: Phase,
 
-    // Instrumentation.
+    // Instrumentation. `observed` caches `!observers.is_empty()` so the
+    // per-step hot path skips all observer-only bookkeeping (the block
+    // snapshot, the machine sample) with a single flag test.
     invocations: Vec<InvocationStats>,
     recorder: Option<Recorder>,
     observers: Vec<&'o mut dyn Observer>,
+    observed: bool,
     block_scratch: Vec<u64>,
+    due: Vec<Assignment>,
 }
 
 impl fmt::Debug for Engine<'_> {
@@ -352,7 +369,18 @@ impl<'o> Engine<'o> {
             .map(|_| DomainClock::new(config.sm_clock, config.initial_sm_level))
             .collect();
         let mem_clock = DomainClock::new(config.mem_clock, config.initial_mem_level);
-        let sms: Vec<Sm> = (0..config.num_sms).map(|i| Sm::new(i, config)).collect();
+        let sms: Arc<Vec<Mutex<Sm>>> = Arc::new(
+            (0..config.num_sms)
+                .map(|i| Mutex::new(Sm::new(i, config)))
+                .collect(),
+        );
+        // Clamp the thread knob: more threads than SMs cannot help, and
+        // 0/1 both mean serial. The pool only exists above 1, so serial
+        // and single-SM runs never spawn a thread.
+        let threads = options.threads.clamp(1, config.num_sms);
+        let pool = (threads > 1)
+            .then(|| SmPool::new(threads - 1, &sms))
+            .flatten();
         let mem = MemSystem::new(config);
         let nominal_sm_period = config.sm_clock.period_fs(VfLevel::Nominal);
         let epoch_span_fs = config.epoch_cycles * nominal_sm_period;
@@ -365,6 +393,7 @@ impl<'o> Engine<'o> {
             mem_clock,
             sms,
             mem,
+            pool,
             gwde: Gwde::new(0),
             nominal_sm_period,
             epoch_span_fs,
@@ -380,7 +409,9 @@ impl<'o> Engine<'o> {
             invocations: Vec::new(),
             recorder: options.record_epochs.then(Recorder::default),
             observers: Vec::new(),
+            observed: false,
             block_scratch: Vec::new(),
+            due: Vec::new(),
             config: config.clone(),
         })
     }
@@ -388,6 +419,7 @@ impl<'o> Engine<'o> {
     /// Attaches a passive observer for the rest of the run.
     pub fn attach(&mut self, observer: &'o mut dyn Observer) {
         self.observers.push(observer);
+        self.observed = true;
     }
 
     /// Builder-style [`Engine::attach`].
@@ -428,9 +460,18 @@ impl<'o> Engine<'o> {
         self.phase == Phase::Complete
     }
 
-    /// Read access to the SMs, for mid-run inspection.
-    pub fn sms(&self) -> &[Sm] {
-        &self.sms
+    /// Number of SMs in the machine.
+    pub fn num_sms(&self) -> usize {
+        self.sms.len()
+    }
+
+    /// Runs `f` against SM `index`, for mid-run inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn with_sm<R>(&self, index: usize, f: impl FnOnce(&Sm) -> R) -> R {
+        f(&lock_sm(&self.sms[index]))
     }
 
     /// Advances the simulation by exactly one event: an invocation setup,
@@ -539,7 +580,8 @@ impl<'o> Engine<'o> {
             invocations: self.invocations.clone(),
             ..RunStats::default()
         };
-        for sm in &self.sms {
+        for cell in self.sms.iter() {
+            let sm = lock_sm(cell);
             for (agg, ev) in stats.sm_events.iter_mut().zip(sm.events().iter()) {
                 agg.issued += ev.issued;
                 agg.alu_ops += ev.alu_ops;
@@ -567,7 +609,8 @@ impl<'o> Engine<'o> {
         self.inv_start_fs = self.now;
         self.gwde = Gwde::new(grid_blocks);
         self.mem.flush_l2();
-        for sm in &mut self.sms {
+        for cell in self.sms.iter() {
+            let mut sm = lock_sm(cell);
             sm.begin_invocation(&self.kernel, self.inv_idx, program.clone());
             sm.fill(&mut self.gwde);
         }
@@ -584,13 +627,17 @@ impl<'o> Engine<'o> {
         // them.
         // `validate()` guarantees at least one SM, hence one clock;
         // Femtos::MAX would stall the loop rather than panic if that
-        // invariant ever broke.
-        let min_sm_tick = self
-            .sm_clocks
-            .iter()
-            .map(DomainClock::next_tick)
-            .min()
-            .unwrap_or(Femtos::MAX);
+        // invariant ever broke. With a shared VRM every SM runs off
+        // clock 0, so the scan collapses to a single read.
+        let min_sm_tick = if self.config.per_sm_vrm {
+            self.sm_clocks
+                .iter()
+                .map(DomainClock::next_tick)
+                .min()
+                .unwrap_or(Femtos::MAX)
+        } else {
+            self.sm_clocks[0].next_tick()
+        };
         if self.mem_clock.next_tick() <= min_sm_tick {
             let t = self.mem_clock.tick();
             self.now = self.now.max(t);
@@ -616,20 +663,25 @@ impl<'o> Engine<'o> {
         } else {
             (crate::util::mix64(self.sm_steps) as usize) % n
         };
-        let track_blocks = !self.observers.is_empty();
+        let track_blocks = self.observed;
         if track_blocks {
-            self.block_scratch.clear();
-            self.block_scratch
-                .extend(self.sms.iter().map(Sm::blocks_completed));
+            // Overwrite the retained snapshot in place: no per-step
+            // clear()/extend churn, and nothing at all in unobserved runs.
+            self.block_scratch.resize(n, 0);
+            for (slot, cell) in self.block_scratch.iter_mut().zip(self.sms.iter()) {
+                *slot = lock_sm(cell).blocks_completed();
+            }
         }
+
+        // Collect the SMs due this tick, already in service order.
+        let mut due = std::mem::take(&mut self.due);
+        due.clear();
         if self.config.per_sm_vrm {
             for off in 0..n {
                 let i = (start + off) % n;
                 if self.sm_clocks[i].next_tick() == t {
                     self.sm_clocks[i].tick();
-                    let level = self.sm_clocks[i].level();
-                    let period = self.sm_clocks[i].period_fs();
-                    self.sms[i].cycle(t, level, period, &mut self.mem, &mut self.gwde);
+                    due.push((i, self.sm_clocks[i].level(), self.sm_clocks[i].period_fs()));
                 }
             }
         } else {
@@ -637,12 +689,42 @@ impl<'o> Engine<'o> {
             let level = self.sm_clocks[0].level();
             let period = self.sm_clocks[0].period_fs();
             for off in 0..n {
-                self.sms[(start + off) % n].cycle(t, level, period, &mut self.mem, &mut self.gwde);
+                due.push(((start + off) % n, level, period));
             }
         }
+
+        // The two-phase cycle. With a worker pool and more than one due
+        // SM: pre-drain every inbox serially (the per-SM response heaps
+        // are disjoint), run the local phase in parallel, then commit in
+        // service order so interconnect arbitration, back-pressure and
+        // GWDE dispatch resolve exactly as in a serial run. The serial
+        // path fuses the three stages per SM — the same schedule, since
+        // the phases of different SMs touch disjoint state.
+        match &mut self.pool {
+            Some(pool) if due.len() > 1 => {
+                for &(i, ..) in due.iter() {
+                    let mut sm = lock_sm(&self.sms[i]);
+                    self.mem.drain_ready(i, t, sm.inbox_mut());
+                }
+                pool.run_local(t, &due, &self.sms);
+                for &(i, level, _) in due.iter() {
+                    lock_sm(&self.sms[i]).commit(level, &mut self.mem, &mut self.gwde);
+                }
+            }
+            _ => {
+                for &(i, level, period) in due.iter() {
+                    let mut sm = lock_sm(&self.sms[i]);
+                    self.mem.drain_ready(i, t, sm.inbox_mut());
+                    sm.cycle_local(t, level, period);
+                    sm.commit(level, &mut self.mem, &mut self.gwde);
+                }
+            }
+        }
+        self.due = due;
+
         if track_blocks {
             for i in 0..n {
-                let completed = self.sms[i].blocks_completed() - self.block_scratch[i];
+                let completed = lock_sm(&self.sms[i]).blocks_completed() - self.block_scratch[i];
                 if completed > 0 {
                     let event = BlockEvent::Completed {
                         sm: i,
@@ -671,14 +753,18 @@ impl<'o> Engine<'o> {
 
         // Termination check for this invocation.
         if self.gwde.drained()
-            && self.sms.iter().all(|s| !s.busy() && s.quiescent())
+            && self.sms.iter().all(|cell| {
+                let sm = lock_sm(cell);
+                !sm.busy() && sm.quiescent()
+            })
             && self.mem.quiescent()
         {
-            // Sanitizer: every MSHR, LSU queue and local-hit queue must
-            // be empty once an invocation completes.
+            // Sanitizer: every MSHR, LSU queue, local-hit queue, inbox
+            // and pending access must be empty once an invocation
+            // completes.
             #[cfg(feature = "validate")]
-            for sm in &self.sms {
-                sm.validate_drained();
+            for cell in self.sms.iter() {
+                lock_sm(cell).validate_drained();
             }
             let end_cycles = self
                 .sm_clocks
@@ -715,9 +801,9 @@ impl<'o> Engine<'o> {
                 invocation: self.inv_idx,
                 limit: self.options.max_cycles_per_invocation,
                 executed: max_cycles - self.inv_start_cycles,
-                active_blocks: self.sms.iter().map(Sm::active_blocks).sum(),
-                paused_blocks: self.sms.iter().map(Sm::paused_blocks).sum(),
-                resident_warps: self.sms.iter().map(Sm::resident_warps).sum(),
+                active_blocks: self.sms.iter().map(|c| lock_sm(c).active_blocks()).sum(),
+                paused_blocks: self.sms.iter().map(|c| lock_sm(c).paused_blocks()).sum(),
+                resident_warps: self.sms.iter().map(|c| lock_sm(c).resident_warps()).sum(),
             });
         }
         Ok(event)
@@ -731,8 +817,9 @@ impl<'o> Engine<'o> {
         let clocks = &self.sm_clocks;
         let reports: Vec<SmEpochReport> = self
             .sms
-            .iter_mut()
-            .map(|sm| {
+            .iter()
+            .map(|cell| {
+                let mut sm = lock_sm(cell);
                 let clock = if per_sm_vrm {
                     &clocks[sm.id()]
                 } else {
@@ -748,9 +835,13 @@ impl<'o> Engine<'o> {
                 }
             })
             .collect();
+        let (w_cta, resident_limit) = {
+            let sm = lock_sm(&self.sms[0]);
+            (sm.w_cta(), sm.resident_limit())
+        };
         let ctx = EpochContext {
-            w_cta: self.sms[0].w_cta(),
-            resident_limit: self.sms[0].resident_limit(),
+            w_cta,
+            resident_limit,
             sm_level: self.sm_clocks[0].level(),
             mem_level: self.mem_clock.level(),
             epoch_index: self.epoch_index,
@@ -758,7 +849,7 @@ impl<'o> Engine<'o> {
             now_fs: t,
         };
         let decision = governor.epoch(&ctx, &reports);
-        if self.recorder.is_some() || !self.observers.is_empty() {
+        if self.recorder.is_some() || self.observed {
             let record = make_record(&ctx, &reports, self.inv_idx, self.epoch_index, t);
             if let Some(recorder) = &mut self.recorder {
                 recorder.on_epoch(&ctx, &reports, &record);
@@ -767,7 +858,7 @@ impl<'o> Engine<'o> {
                 obs.on_epoch(&ctx, &reports, &record);
             }
         }
-        if !self.observers.is_empty() {
+        if self.observed {
             let sample = self.machine_sample(t);
             for obs in &mut self.observers {
                 obs.on_machine_sample(&sample);
@@ -793,7 +884,8 @@ impl<'o> Engine<'o> {
             sm_time_at[i] /= nc;
         }
         let mut sm_events = [SmLevelEvents::default(); 3];
-        for sm in &self.sms {
+        for cell in self.sms.iter() {
+            let sm = lock_sm(cell);
             for (agg, ev) in sm_events.iter_mut().zip(sm.events().iter()) {
                 agg.issued += ev.issued;
                 agg.alu_ops += ev.alu_ops;
@@ -807,7 +899,8 @@ impl<'o> Engine<'o> {
         let sms = self
             .sms
             .iter()
-            .map(|sm| {
+            .map(|cell| {
+                let sm = lock_sm(cell);
                 let clock = if per_sm_vrm {
                     &self.sm_clocks[sm.id()]
                 } else {
@@ -846,20 +939,24 @@ impl<'o> Engine<'o> {
     }
 
     fn apply_decision(&mut self, decision: &EpochDecision, now: Femtos) {
-        for (sm, target) in self.sms.iter_mut().zip(decision.target_blocks.iter()) {
-            if let Some(t) = target {
-                let before = sm.target_blocks();
-                sm.set_target_blocks(*t);
-                sm.fill(&mut self.gwde);
-                let after = sm.target_blocks();
-                if after != before {
-                    let event = BlockEvent::TargetChanged {
-                        sm: sm.id(),
-                        target: after,
-                    };
-                    for obs in &mut self.observers {
-                        obs.on_block_event(event);
-                    }
+        for (cell, target) in self.sms.iter().zip(decision.target_blocks.iter()) {
+            let Some(t) = target else {
+                continue;
+            };
+            let mut sm = lock_sm(cell);
+            let before = sm.target_blocks();
+            sm.set_target_blocks(*t);
+            sm.fill(&mut self.gwde);
+            let after = sm.target_blocks();
+            let id = sm.id();
+            drop(sm);
+            if after != before {
+                let event = BlockEvent::TargetChanged {
+                    sm: id,
+                    target: after,
+                };
+                for obs in &mut self.observers {
+                    obs.on_block_event(event);
                 }
             }
         }
@@ -1176,10 +1273,25 @@ mod tests {
     }
 
     #[test]
+    fn parallel_stepping_matches_serial() {
+        let config = small_config();
+        let kernel = alu_kernel(48, 1200);
+        let serial =
+            simulate_with(&config, &kernel, &mut StaticGovernor, SimOptions::default()).unwrap();
+        let opts = SimOptions {
+            threads: 2,
+            ..SimOptions::default()
+        };
+        let parallel = simulate_with(&config, &kernel, &mut StaticGovernor, opts).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn cycle_limit_freezes_the_engine() {
         let opts = SimOptions {
             max_cycles_per_invocation: 50,
             record_epochs: false,
+            ..SimOptions::default()
         };
         let mut engine = Engine::new(&small_config(), &alu_kernel(64, 100), opts).unwrap();
         let err = engine.run(&mut StaticGovernor).unwrap_err();

@@ -71,6 +71,15 @@ pub struct SimOptions {
     /// Record the per-epoch timeline in [`RunStats::epochs`]. This
     /// installs the engine's bundled [`crate::engine::Recorder`] observer.
     pub record_epochs: bool,
+    /// OS threads for the SM-domain local phase (two-phase stepping).
+    ///
+    /// `0` and `1` both mean serial; values above the SM count are
+    /// clamped. Results are bit-identical for every value — the local
+    /// phase only touches per-SM state and the commit phase stays serial
+    /// in the rotated service order — so this is purely a wall-clock
+    /// knob. The worker pool is only spawned when the effective value
+    /// exceeds 1.
+    pub threads: usize,
 }
 
 impl Default for SimOptions {
@@ -78,6 +87,7 @@ impl Default for SimOptions {
         Self {
             max_cycles_per_invocation: 80_000_000,
             record_epochs: true,
+            threads: 1,
         }
     }
 }
@@ -234,6 +244,7 @@ mod tests {
         let opts = SimOptions {
             max_cycles_per_invocation: 50,
             record_epochs: false,
+            ..SimOptions::default()
         };
         let err =
             simulate_with(&small_config(), &alu_kernel(64), &mut StaticGovernor, opts).unwrap_err();

@@ -80,6 +80,7 @@ pub mod gpu;
 pub mod gwde;
 pub mod kernel;
 pub mod memsys;
+mod pool;
 pub mod program;
 pub mod sm;
 pub mod stats;

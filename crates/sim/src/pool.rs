@@ -1,0 +1,181 @@
+//! The persistent worker pool behind parallel SM stepping.
+//!
+//! [`SmPool`] owns `threads - 1` OS threads (the engine thread services
+//! its own shard) that live for the whole run and execute the *local*
+//! phase of the two-phase cycle: [`crate::sm::Sm::cycle_local`] touches
+//! only per-SM state, so the pool can run due SMs concurrently without
+//! changing any simulated outcome. Sharding is a fixed round-robin over
+//! the due list's positions — worker `w` always takes positions
+//! `w + 1, w + 1 + lanes, …` — so the assignment of SMs to threads is a
+//! pure function of the due list and can never leak scheduling
+//! nondeterminism into results. The serial commit phase stays on the
+//! engine thread.
+//!
+//! Everything here is `std`-only: `std::thread` plus `mpsc` channels,
+//! with blocking `recv` on both sides (no spinning — the pool must
+//! behave on oversubscribed hosts). A panic inside a worker (e.g. a
+//! `validate`-feature assertion) is caught, shipped back over the done
+//! channel and re-raised on the engine thread, so sanitizer failures
+//! surface exactly as they do in serial runs.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use crate::config::{Femtos, VfLevel};
+use crate::sm::Sm;
+
+/// One due SM for the current tick: `(sm index, level, period_fs)`.
+pub(crate) type Assignment = (usize, VfLevel, Femtos);
+
+/// Locks an SM cell, recovering from poisoning.
+///
+/// A poisoned mutex only means a worker panicked mid-cycle; the panic
+/// payload is re-raised on the engine thread right after, so the
+/// recovered guard is never used to continue a corrupted simulation —
+/// this just avoids a panic-while-panicking cascade during unwinding.
+pub(crate) fn lock_sm(cell: &Mutex<Sm>) -> MutexGuard<'_, Sm> {
+    match cell.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+enum Job {
+    /// Run the local phase for the listed SMs at tick `now`.
+    Cycle { now: Femtos, sms: Vec<Assignment> },
+    /// Shut the worker down.
+    Exit,
+}
+
+enum Done {
+    /// The shard completed; the assignment buffer comes back for reuse.
+    Finished(Vec<Assignment>),
+    /// The shard panicked; the payload is re-raised on the engine thread.
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// The persistent local-phase worker pool. Dropped with the engine; the
+/// destructor shuts every worker down and joins it.
+pub(crate) struct SmPool {
+    job_txs: Vec<Sender<Job>>,
+    done_rx: Receiver<Done>,
+    handles: Vec<JoinHandle<()>>,
+    /// Recycled assignment buffers, so steady-state ticks allocate
+    /// nothing.
+    spare: Vec<Vec<Assignment>>,
+}
+
+impl SmPool {
+    /// Spawns `workers` threads over the shared SM cells. Returns `None`
+    /// when no worker could be spawned (the engine then falls back to
+    /// the serial path); a partial spawn degrades to fewer workers.
+    pub(crate) fn new(workers: usize, cells: &Arc<Vec<Mutex<Sm>>>) -> Option<Self> {
+        if workers == 0 {
+            return None;
+        }
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let cells = Arc::clone(cells);
+            let done = done_tx.clone();
+            let builder = std::thread::Builder::new().name(format!("sm-worker-{w}"));
+            match builder.spawn(move || worker_loop(&rx, &cells, &done)) {
+                Ok(handle) => {
+                    job_txs.push(tx);
+                    handles.push(handle);
+                }
+                Err(_) => break,
+            }
+        }
+        if handles.is_empty() {
+            return None;
+        }
+        Some(Self {
+            job_txs,
+            done_rx,
+            handles,
+            spare: Vec::new(),
+        })
+    }
+
+    /// Runs the local phase for every assignment in `due`, fanning the
+    /// list round-robin across the workers while the engine thread
+    /// services its own shard. Blocks until every shard is done, so the
+    /// caller can start the serial commit phase immediately after.
+    pub(crate) fn run_local(&mut self, now: Femtos, due: &[Assignment], cells: &[Mutex<Sm>]) {
+        let lanes = self.job_txs.len() + 1;
+        let mut outstanding = 0usize;
+        for (w, tx) in self.job_txs.iter().enumerate() {
+            let mut buf = self.spare.pop().unwrap_or_default();
+            buf.clear();
+            buf.extend(due.iter().skip(w + 1).step_by(lanes).copied());
+            if buf.is_empty() {
+                self.spare.push(buf);
+                continue;
+            }
+            if tx.send(Job::Cycle { now, sms: buf }).is_ok() {
+                outstanding += 1;
+            }
+        }
+        // Engine thread's shard: positions 0, lanes, 2*lanes, …
+        for &(i, level, period) in due.iter().step_by(lanes) {
+            lock_sm(&cells[i]).cycle_local(now, level, period);
+        }
+        let mut panic_payload = None;
+        for _ in 0..outstanding {
+            match self.done_rx.recv() {
+                Ok(Done::Finished(mut buf)) => {
+                    buf.clear();
+                    self.spare.push(buf);
+                }
+                Ok(Done::Panicked(payload)) => panic_payload = Some(payload),
+                // Every live worker sends exactly one Done per job (even
+                // on panic, via catch_unwind), so a closed channel means
+                // the workers are gone; nothing more will arrive.
+                Err(_) => break,
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for SmPool {
+    fn drop(&mut self) {
+        for tx in &self.job_txs {
+            let _ = tx.send(Job::Exit);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for SmPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmPool")
+            .field("workers", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn worker_loop(jobs: &Receiver<Job>, cells: &Arc<Vec<Mutex<Sm>>>, done: &Sender<Done>) {
+    while let Ok(Job::Cycle { now, sms }) = jobs.recv() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for &(i, level, period) in &sms {
+                lock_sm(&cells[i]).cycle_local(now, level, period);
+            }
+        }));
+        let msg = match result {
+            Ok(()) => Done::Finished(sms),
+            Err(payload) => Done::Panicked(payload),
+        };
+        if done.send(msg).is_err() {
+            return;
+        }
+    }
+}

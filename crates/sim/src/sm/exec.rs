@@ -1,8 +1,14 @@
-//! Execution pipelines: memory-response delivery and the LD/ST unit.
+//! Execution pipelines: memory-response delivery and the LD/ST unit,
+//! split along the two-phase cycle boundary.
 //!
-//! The respond stage drains interconnect responses and matured local L1
-//! hits back into waiting warps; the LSU drains one cache-line access per
-//! cycle through the L1/MSHR/interconnect path (textures bypass the L1).
+//! The respond stage delivers pre-drained interconnect responses (the
+//! engine fills the SM's inbox serially) and matured local L1 hits back
+//! into waiting warps. The LSU handles one cache-line access per cycle,
+//! head-of-line: accesses that resolve against SM-private state (MSHR
+//! merges, L1 hits) complete in the local phase, while accesses that
+//! need the shared interconnect/texture queues are classified into a
+//! [`super::PendingAccess`] and resolved in the serial commit phase,
+//! where `can_accept` back-pressure is arbitrated in service order.
 
 use std::cmp::Reverse;
 
@@ -11,21 +17,15 @@ use crate::config::Femtos;
 use crate::memsys::{MemReq, MemSystem};
 use crate::program::MemSpace;
 
-use super::Sm;
+use super::{PendingAccess, Sm};
 
 impl Sm {
-    /// Delivers memory responses (global/texture) and matured local L1
-    /// hits. A load completion can be the last outstanding work of an
-    /// already-finished warp, so block completion is re-checked.
-    pub(super) fn respond_stage(
-        &mut self,
-        now: Femtos,
-        mem: &mut MemSystem,
-        completed_blocks: &mut Vec<usize>,
-    ) {
-        let mut buf = std::mem::take(&mut self.resp_buf);
-        buf.clear();
-        mem.drain_ready(self.id, now, &mut buf);
+    /// Delivers memory responses (global/texture) from the pre-drained
+    /// inbox and matured local L1 hits. A load completion can be the
+    /// last outstanding work of an already-finished warp, so block
+    /// completion is re-checked. Local phase: touches no shared state.
+    pub(super) fn respond_local(&mut self, now: Femtos, completed_blocks: &mut Vec<usize>) {
+        let mut buf = std::mem::take(&mut self.inbox);
         for token in buf.drain(..) {
             if let Some(waiters) = self.mshr.remove(&token) {
                 for ws in waiters {
@@ -33,7 +33,7 @@ impl Sm {
                 }
             }
         }
-        self.resp_buf = buf;
+        self.inbox = buf;
         while let Some(&Reverse((t, ws))) = self.local_ready.peek() {
             if t > now {
                 break;
@@ -65,16 +65,13 @@ impl Sm {
         }
     }
 
-    /// Drains one cache-line access from the LD/ST queue head: L1 probe,
-    /// MSHR merge, or interconnect injection. A full MSHR file or a
-    /// back-pressured interconnect stalls the head of line.
-    pub(super) fn lsu_step(
-        &mut self,
-        now: Femtos,
-        li: usize,
-        period_fs: Femtos,
-        mem: &mut MemSystem,
-    ) {
+    /// The LD/ST unit's local half: resolves the head-of-line access
+    /// when only SM-private state is involved (MSHR merge, L1 hit), or
+    /// stages it as a [`PendingAccess`] for the commit phase when it
+    /// must be injected into the shared queues. A full MSHR file stalls
+    /// the head of line right here.
+    pub(super) fn lsu_local(&mut self, now: Femtos, li: usize, period_fs: Femtos) {
+        debug_assert!(self.pending.is_none(), "pending access not committed");
         let Some(head) = self.lsu.front().copied() else {
             return;
         };
@@ -86,37 +83,33 @@ impl Sm {
             head.next_access,
         );
         let line = addr / self.l1.config().line_bytes;
-        let is_tex = head.instr.space == MemSpace::Texture;
 
-        let progressed = if is_tex {
+        if head.instr.space == MemSpace::Texture {
             // Texture path: bypass L1; deep queue hides back-pressure.
             if let Some(waiters) = self.mshr.get_mut(&line) {
                 if head.instr.is_load {
                     waiters.push(head.warp_slot);
                 }
-                true
-            } else if self.mshr.len() < self.mshr_cap && mem.can_accept(true) {
-                mem.inject(MemReq {
-                    sm: self.id,
-                    token: line,
+                self.advance_lsu_head();
+            } else if self.mshr.len() < self.mshr_cap {
+                self.pending = Some(PendingAccess {
+                    line,
                     addr,
                     is_load: head.instr.is_load,
                     texture: true,
+                    warp_slot: head.warp_slot,
                 });
-                if head.instr.is_load {
-                    self.mshr.insert(line, vec![head.warp_slot]);
-                }
-                true
-            } else {
-                false
             }
-        } else if let Some(waiters) = self.mshr.get_mut(&line) {
+            return;
+        }
+
+        if let Some(waiters) = self.mshr.get_mut(&line) {
             // Secondary miss: merge into the outstanding MSHR.
             self.events[li].l1_accesses += 1;
             if head.instr.is_load {
                 waiters.push(head.warp_slot);
             }
-            true
+            self.advance_lsu_head();
         } else if self.l1.contains(addr) {
             self.events[li].l1_accesses += 1;
             self.events[li].l1_hits += 1;
@@ -126,37 +119,59 @@ impl Sm {
                 let ready = now + Femtos::from(self.l1_hit_latency) * period_fs;
                 self.local_ready.push(Reverse((ready, head.warp_slot)));
             }
-            true
-        } else if self.mshr.len() < self.mshr_cap && mem.can_accept(false) {
-            // Primary miss with room to proceed.
-            self.events[li].l1_accesses += 1;
-            let miss = self.l1.access(addr);
-            debug_assert_eq!(miss, Lookup::Miss);
-            if let Some(ccws) = &mut self.ccws {
-                ccws.on_l1_miss(head.warp_slot, line);
-            }
-            mem.inject(MemReq {
-                sm: self.id,
-                token: line,
+            self.advance_lsu_head();
+        } else if self.mshr.len() < self.mshr_cap {
+            // Primary miss: needs an interconnect slot, decided at commit.
+            self.pending = Some(PendingAccess {
+                line,
                 addr,
                 is_load: head.instr.is_load,
                 texture: false,
+                warp_slot: head.warp_slot,
             });
-            if head.instr.is_load {
-                self.mshr.insert(line, vec![head.warp_slot]);
-            }
-            true
-        } else {
-            // MSHRs exhausted or interconnect full: head-of-line stall.
-            false
-        };
+        }
+        // MSHRs exhausted: head-of-line stall, retry next cycle.
+    }
 
-        if progressed {
-            if let Some(head) = self.lsu.front_mut() {
-                head.next_access += 1;
-                if head.next_access >= u32::from(head.instr.accesses) {
-                    self.lsu.pop_front();
-                }
+    /// The LD/ST unit's commit half: injects the staged access if the
+    /// target shared queue has room; a back-pressured interconnect
+    /// leaves the head of line in place for the next cycle. Runs in the
+    /// engine's rotated service order.
+    pub(super) fn commit_pending(&mut self, li: usize, mem: &mut MemSystem) {
+        let Some(p) = self.pending.take() else {
+            return;
+        };
+        if !mem.can_accept(p.texture) {
+            return; // Head-of-line stall; reclassified next cycle.
+        }
+        if !p.texture {
+            self.events[li].l1_accesses += 1;
+            let miss = self.l1.access(p.addr);
+            debug_assert_eq!(miss, Lookup::Miss);
+            if let Some(ccws) = &mut self.ccws {
+                ccws.on_l1_miss(p.warp_slot, p.line);
+            }
+        }
+        mem.inject(MemReq {
+            sm: self.id,
+            token: p.line,
+            addr: p.addr,
+            is_load: p.is_load,
+            texture: p.texture,
+        });
+        if p.is_load {
+            self.mshr.insert(p.line, vec![p.warp_slot]);
+        }
+        self.advance_lsu_head();
+    }
+
+    /// Advances the LSU head one line access, popping the entry once all
+    /// of its accesses have been serviced.
+    fn advance_lsu_head(&mut self) {
+        if let Some(head) = self.lsu.front_mut() {
+            head.next_access += 1;
+            if head.next_access >= u32::from(head.instr.accesses) {
+                self.lsu.pop_front();
             }
         }
     }

@@ -4,6 +4,11 @@
 //! classifies each unpaused warp into the paper's states — `Issued`,
 //! `Waiting`, `ExcessAlu`, `ExcessMem` or `Others` — issuing up to
 //! `issue_width` instructions split across the ALU and memory ports.
+//!
+//! The whole stage is part of the *local* phase of the two-phase cycle:
+//! it reads and writes only this SM's warps, scoreboard and LSU queue,
+//! so it is safe to run concurrently across SMs (enforced by the
+//! `no-shared-mut-in-local-phase` lint rule).
 
 use crate::config::Femtos;
 use crate::counters::{CycleSnapshot, WarpState};

@@ -71,6 +71,19 @@ struct LsuEntry {
     next_access: u32,
 }
 
+/// A classified LSU head access that needs the shared memory system:
+/// staged by [`Sm::cycle_local`] and resolved by [`Sm::commit`], where
+/// `MemSystem::can_accept` arbitration happens in the engine's rotated
+/// service order regardless of how the local phase was scheduled.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingAccess {
+    line: u64,
+    addr: u64,
+    is_load: bool,
+    texture: bool,
+    warp_slot: usize,
+}
+
 /// One streaming multiprocessor.
 #[derive(Debug)]
 pub struct Sm {
@@ -114,7 +127,14 @@ pub struct Sm {
     epoch: WarpStateCounters,
     run_total: WarpStateCounters,
     events: [SmLevelEvents; 3],
-    resp_buf: Vec<u64>,
+    /// Response tokens pre-drained from the memory system for this cycle
+    /// (the SM's inbox; filled serially by the engine, consumed by the
+    /// local phase).
+    inbox: Vec<u64>,
+    /// The LSU head access awaiting shared-queue arbitration in `commit`.
+    pending: Option<PendingAccess>,
+    /// Block slots completed during the local phase, retired in `commit`.
+    completed_scratch: Vec<usize>,
     ccws: Option<CcwsState>,
     blocks_completed: u64,
 }
@@ -154,7 +174,9 @@ impl Sm {
             epoch: WarpStateCounters::default(),
             run_total: WarpStateCounters::default(),
             events: [SmLevelEvents::default(); 3],
-            resp_buf: Vec::new(),
+            inbox: Vec::new(),
+            pending: None,
+            completed_scratch: Vec::new(),
             ccws: config
                 .ccws
                 .map(|c| CcwsState::new(c, config.max_warps_per_sm)),
@@ -184,6 +206,9 @@ impl Sm {
         self.lsu.clear();
         self.mshr.clear();
         self.local_ready.clear();
+        self.inbox.clear();
+        self.pending = None;
+        self.completed_scratch.clear();
         self.l1.flush();
         self.target_blocks = self.resident_limit;
         if let Some(ccws) = &mut self.ccws {
@@ -235,7 +260,17 @@ impl Sm {
 
     /// Whether the SM has any in-flight memory state.
     pub fn quiescent(&self) -> bool {
-        self.lsu.is_empty() && self.mshr.is_empty() && self.local_ready.is_empty()
+        self.lsu.is_empty()
+            && self.mshr.is_empty()
+            && self.local_ready.is_empty()
+            && self.inbox.is_empty()
+            && self.pending.is_none()
+    }
+
+    /// The response inbox the engine pre-drains memory responses into
+    /// before the local phase runs.
+    pub(crate) fn inbox_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.inbox
     }
 
     /// Current LD/ST-unit queue occupancy (pending line accesses).
@@ -253,7 +288,15 @@ impl Sm {
         std::mem::take(&mut self.epoch)
     }
 
-    /// Advances the SM by one cycle ending at `now`.
+    /// Advances the SM by one cycle ending at `now` against the shared
+    /// memory system and dispatcher.
+    ///
+    /// Convenience wrapper over the two-phase pair: it pre-drains the
+    /// response inbox, runs [`Sm::cycle_local`] and immediately
+    /// [`Sm::commit`]s. The engine interleaves the same three steps per
+    /// SM when running serially, and separates the phases when the local
+    /// phase runs on the worker pool — both orders are byte-identical
+    /// because the local phase never touches shared state.
     pub fn cycle(
         &mut self,
         now: Femtos,
@@ -262,15 +305,30 @@ impl Sm {
         mem: &mut MemSystem,
         gwde: &mut Gwde,
     ) {
+        mem.drain_ready(self.id, now, &mut self.inbox);
+        self.cycle_local(now, level, period_fs);
+        self.commit(level, mem, gwde);
+    }
+
+    /// Phase 1 of a cycle: everything that only touches this SM's own
+    /// state — response delivery from the pre-drained inbox, LSU head
+    /// classification (fully resolving L1 hits and MSHR merges), the
+    /// CCWS mask refresh and the issue stage. Accesses that need the
+    /// shared interconnect/texture queues are staged in
+    /// [`PendingAccess`]; completed blocks are parked for the retire
+    /// stage. Safe to run concurrently across SMs.
+    pub fn cycle_local(&mut self, now: Femtos, level: VfLevel, period_fs: Femtos) {
         self.cycles += 1;
         let li = level.index();
-        let mut completed_blocks: Vec<usize> = Vec::new();
+        let mut completed_blocks = std::mem::take(&mut self.completed_scratch);
+        completed_blocks.clear();
 
         // 1. Deliver memory responses (global/texture) and local L1 hits.
-        self.respond_stage(now, mem, &mut completed_blocks);
+        self.respond_local(now, &mut completed_blocks);
 
-        // 2. LD/ST unit: one cache-line access per cycle, head-of-line.
-        self.lsu_step(now, li, period_fs, mem);
+        // 2. LD/ST unit: resolve the head access locally or classify it
+        //    for the commit phase.
+        self.lsu_local(now, li, period_fs);
 
         // 3. Refresh the CCWS issue mask periodically.
         if let Some(ccws) = &mut self.ccws {
@@ -280,17 +338,33 @@ impl Sm {
         }
 
         // 4. Issue stage: classify and issue warps oldest-block-first.
-        let snap = self.issue_stage(now, li, period_fs, &mut completed_blocks);
+        self.snapshot = self.issue_stage(now, li, period_fs, &mut completed_blocks);
+        self.completed_scratch = completed_blocks;
+    }
 
-        // 5. Retire completed blocks and backfill.
-        if !completed_blocks.is_empty() {
-            for slot in completed_blocks {
+    /// Phase 2 of a cycle: the serial commit against shared state. The
+    /// engine calls this in the `mix64`-rotated service order, so
+    /// interconnect arbitration, back-pressure and GWDE block dispatch
+    /// are independent of how many threads ran the local phase.
+    pub fn commit(&mut self, level: VfLevel, mem: &mut MemSystem, gwde: &mut Gwde) {
+        let li = level.index();
+
+        // 5a. Resolve the staged LSU head access against the shared
+        //     queues (the only per-cycle arbitration point).
+        self.commit_pending(li, mem);
+
+        // 5b. Retire completed blocks and backfill from the dispatcher.
+        if !self.completed_scratch.is_empty() {
+            let mut completed = std::mem::take(&mut self.completed_scratch);
+            for slot in completed.drain(..) {
                 self.retire_block(slot);
             }
+            self.completed_scratch = completed;
             self.fill(gwde);
         }
 
-        // 6. Statistics.
+        // 6. Statistics (busy_cycles needs post-retire residency).
+        let snap = self.snapshot;
         if snap.active > 0 || self.busy() {
             self.events[li].busy_cycles += 1;
         }
@@ -304,7 +378,6 @@ impl Sm {
             self.epoch.sample(&snap);
             self.run_total.sample(&snap);
         }
-        self.snapshot = snap;
     }
 
     /// Sanitizer hook (`validate` feature): asserts that the SM holds no
@@ -332,6 +405,21 @@ impl Sm {
         assert!(
             self.warps.iter().all(Option::is_none),
             "SM {}: resident warps survived kernel completion",
+            self.id
+        );
+        assert!(
+            self.inbox.is_empty(),
+            "SM {}: undelivered response tokens at kernel completion",
+            self.id
+        );
+        assert!(
+            self.pending.is_none(),
+            "SM {}: uncommitted LSU access at kernel completion",
+            self.id
+        );
+        assert!(
+            self.completed_scratch.is_empty(),
+            "SM {}: unretired completed blocks at kernel completion",
             self.id
         );
     }

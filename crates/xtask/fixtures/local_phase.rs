@@ -1,0 +1,32 @@
+//! Fixture: `no-shared-mut-in-local-phase`. Functions reachable from
+//! `cycle_local` run while other SMs step concurrently, so none of them
+//! may take the shared memory system or block dispatcher by `&mut` —
+//! shared state belongs to the serial commit phase. Both reachable
+//! offenders are flagged; `commit_path` has the same signature but is
+//! not reachable from the local phase and stays clean.
+
+struct MemSystem;
+struct Gwde;
+
+fn cycle_local(now: u64) {
+    stage_issue(now);
+}
+
+fn stage_issue(now: u64) {
+    let mut mem = MemSystem;
+    let mut gw = Gwde;
+    inject_now(now, &mut mem);
+    dispatch_more(&mut gw);
+    stage_probe(&mut mem);
+}
+
+fn inject_now(_now: u64, _mem: &mut MemSystem) {} //~ no-shared-mut-in-local-phase
+
+fn dispatch_more(_gw: &mut Gwde) {} //~ no-shared-mut-in-local-phase
+
+// lint: allow(no-shared-mut-in-local-phase) -- fixture: the escape hatch must suppress this rule too
+fn stage_probe(_mem: &mut MemSystem) {}
+
+// Mutating shared state outside the local phase is exactly what the
+// rule permits.
+fn commit_path(_mem: &mut MemSystem, _gw: &mut Gwde) {}

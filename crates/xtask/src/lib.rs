@@ -21,6 +21,7 @@
 //! | `pub-docs`       | undocumented `pub` items                          | docs crates, lib code |
 //! | `no-debug-print` | `dbg!`, `println!`, `print!`                      | all lib code |
 //! | `no-dup-metric-name` | the same metric-name literal registered twice | strict crates, lib code |
+//! | `no-shared-mut-in-local-phase` | `&mut MemSystem`/`&mut Gwde` params on fns reachable from `cycle_local` | `crates/sim/src`, named paths |
 //! | `tagged-todo`    | to-do markers without an issue tag like `(#7)`    | everywhere |
 //! | `malformed-allow`| escape hatch missing rules, reason, or rule typo  | everywhere |
 //!
@@ -34,6 +35,15 @@
 //! `no-dup-metric-name` also runs one cross-file pass per strict crate
 //! during a workspace walk, so two modules of `crates/obs` cannot claim
 //! the same metric name either.
+//!
+//! `no-shared-mut-in-local-phase` guards the simulator's two-phase cycle:
+//! `Sm::cycle_local` runs concurrently across SMs, so no function it can
+//! reach may take the shared memory system or block dispatcher mutably.
+//! The pass extracts `fn` definitions from the comment-stripped source,
+//! walks the call graph from every `cycle_local`, and flags reachable
+//! functions with a `&mut MemSystem` or `&mut Gwde` parameter. It runs
+//! cross-file over `crates/sim/src` during a workspace walk, and over the
+//! whole file set for explicitly named paths (the fixtures).
 //!
 //! The escape hatch is a regular comment:
 //!
@@ -64,6 +74,7 @@ pub const RULES: &[&str] = &[
     "pub-docs",
     "no-debug-print",
     "no-dup-metric-name",
+    "no-shared-mut-in-local-phase",
     "tagged-todo",
     "malformed-allow",
 ];
@@ -437,6 +448,289 @@ fn has_doc_above(scanned: &Scanned, item_idx: usize) -> bool {
     false
 }
 
+/// The root of the concurrent phase: every function reachable from a
+/// definition with this name runs while other SMs step in parallel.
+const LOCAL_PHASE_ROOT: &str = "cycle_local";
+
+/// Types shared across SMs that may only be mutated during the serial
+/// commit phase.
+const LOCAL_PHASE_SHARED: &[&str] = &["MemSystem", "Gwde"];
+
+/// One `fn` definition extracted from a file's code view, for the
+/// `no-shared-mut-in-local-phase` call-graph pass.
+#[derive(Debug)]
+struct FnDef {
+    /// Index of the source in the input slice.
+    file: usize,
+    /// 1-indexed line of the `fn` keyword.
+    line: usize,
+    /// Function name.
+    name: String,
+    /// Parameter-list text between the outer parentheses.
+    params: String,
+    /// Body text between the outer braces (empty for trait signatures).
+    body: String,
+}
+
+/// The comment- and string-stripped code of `source` with `#[cfg(test)]`
+/// lines blanked, newline structure preserved so extracted definitions
+/// keep their real line numbers.
+fn code_view(source: &str) -> String {
+    let scanned = scan::scan(source);
+    let mut view = String::with_capacity(source.len());
+    for line in &scanned.lines {
+        if !line.in_test {
+            view.push_str(&line.code);
+        }
+        view.push('\n');
+    }
+    view
+}
+
+/// Extracts every `fn` definition in `view` (a [`code_view`]) into
+/// `out`, tagged with `file`. Scanning resumes just inside each body so
+/// nested definitions are extracted too (their calls also attribute to
+/// the enclosing function, which is conservative and fine for a lint).
+fn extract_fns(file: usize, view: &str, out: &mut Vec<FnDef>) {
+    let chars: Vec<char> = view.chars().collect();
+    let skip_ws = |mut j: usize| {
+        while chars.get(j).copied().is_some_and(char::is_whitespace) {
+            j += 1;
+        }
+        j
+    };
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] != 'f' || chars.get(i + 1) != Some(&'n') {
+            i += 1;
+            continue;
+        }
+        let pre_ok = i == 0 || !is_ident_char(chars[i - 1]);
+        let post_ok = !chars.get(i + 2).copied().is_some_and(is_ident_char);
+        if !(pre_ok && post_ok) {
+            i += 2;
+            continue;
+        }
+        let def_at = i;
+        let mut j = skip_ws(i + 2);
+        let name_start = j;
+        while chars.get(j).copied().is_some_and(is_ident_char) {
+            j += 1;
+        }
+        if j == name_start {
+            // `fn(` — a function-pointer type, not a definition.
+            i += 2;
+            continue;
+        }
+        let name: String = chars[name_start..j].iter().collect();
+        j = skip_ws(j);
+        // Generic parameters; `>` preceded by `-` is a return arrow
+        // inside an `Fn() -> T` bound, not a closer.
+        if chars.get(j) == Some(&'<') {
+            let mut angle = 0i32;
+            while j < chars.len() {
+                match chars[j] {
+                    '<' => angle += 1,
+                    '>' if j > 0 && chars[j - 1] != '-' => {
+                        angle -= 1;
+                        if angle == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        j = skip_ws(j);
+        if chars.get(j) != Some(&'(') {
+            i = j.max(i + 2);
+            continue;
+        }
+        let params_start = j + 1;
+        let mut params_end = params_start;
+        let mut depth = 0i32;
+        while j < chars.len() {
+            match chars[j] {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        params_end = j;
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let params: String = chars[params_start..params_end.max(params_start)]
+            .iter()
+            .collect();
+        // Return type / where clause run to the body `{` or, for a
+        // bodiless trait signature, a `;`.
+        while j < chars.len() && chars[j] != '{' && chars[j] != ';' {
+            j += 1;
+        }
+        let mut body = String::new();
+        let mut resume = j;
+        if chars.get(j) == Some(&'{') {
+            let body_start = j + 1;
+            let mut braces = 1i32;
+            let mut k = body_start;
+            while k < chars.len() {
+                match chars[k] {
+                    '{' => braces += 1,
+                    '}' => {
+                        braces -= 1;
+                        if braces == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            body = chars[body_start..k.min(chars.len())].iter().collect();
+            resume = body_start;
+        }
+        let line = 1 + chars[..def_at].iter().filter(|&&c| c == '\n').count();
+        out.push(FnDef {
+            file,
+            line,
+            name,
+            params,
+            body,
+        });
+        i = resume.max(i + 2);
+    }
+}
+
+/// True when `body` contains a call-shaped reference to `name`: the
+/// identifier token followed (after optional whitespace) by `(`. Matches
+/// free calls, method calls and UFCS; macro invocations (`name!(`) and
+/// plain mentions do not count.
+fn body_calls(body: &str, name: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = body[start..].find(name) {
+        let at = start + pos;
+        let end = at + name.len();
+        let pre_ok = !body[..at].chars().next_back().is_some_and(is_ident_char);
+        if pre_ok && body[end..].trim_start().starts_with('(') {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+/// The shared type named by a `&mut` parameter in `params`, if any.
+/// The type text is read up to the parameter's comma, so `&mut self`
+/// and shared references (`&MemSystem`) never match.
+fn shared_mut_param(params: &str) -> Option<&'static str> {
+    let mut rest = params;
+    while let Some(pos) = rest.find('&') {
+        rest = &rest[pos + 1..];
+        let mut after = rest.trim_start();
+        // An optional lifetime sits between `&` and `mut`.
+        if let Some(lt) = after.strip_prefix('\'') {
+            after = lt.trim_start_matches(is_ident_char).trim_start();
+        }
+        let Some(ty) = after.strip_prefix("mut") else {
+            continue;
+        };
+        if ty.chars().next().is_some_and(is_ident_char) {
+            continue; // an identifier starting with `mut…`
+        }
+        let ty = ty.split(',').next().unwrap_or(ty);
+        for &shared in LOCAL_PHASE_SHARED {
+            if has_token(ty, shared) {
+                return Some(shared);
+            }
+        }
+    }
+    None
+}
+
+/// Cross-file `no-shared-mut-in-local-phase` pass: `sources` form one
+/// call-graph universe, and every function reachable from a
+/// [`LOCAL_PHASE_ROOT`] definition that takes a [`LOCAL_PHASE_SHARED`]
+/// type by `&mut` is a finding (anchored at its definition line).
+///
+/// Reachability is by function *name*, which merges same-named methods
+/// across types — conservative in the right direction for a lint.
+/// Suppressions are not applied here; callers check `allow_for` against
+/// the flagged file.
+pub fn local_phase_violations(sources: &[(PathBuf, String)]) -> Vec<Finding> {
+    let mut defs: Vec<FnDef> = Vec::new();
+    for (idx, (_, source)) in sources.iter().enumerate() {
+        extract_fns(idx, &code_view(source), &mut defs);
+    }
+    if !defs.iter().any(|d| d.name == LOCAL_PHASE_ROOT) {
+        return Vec::new();
+    }
+    let known: std::collections::BTreeSet<&str> = defs.iter().map(|d| d.name.as_str()).collect();
+    let mut reachable: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    reachable.insert(LOCAL_PHASE_ROOT);
+    let mut queue: Vec<&str> = vec![LOCAL_PHASE_ROOT];
+    while let Some(name) = queue.pop() {
+        for def in defs.iter().filter(|d| d.name == name) {
+            for &callee in &known {
+                if !reachable.contains(callee) && body_calls(&def.body, callee) {
+                    reachable.insert(callee);
+                    queue.push(callee);
+                }
+            }
+        }
+    }
+    let mut findings: Vec<Finding> = Vec::new();
+    for def in &defs {
+        if !reachable.contains(def.name.as_str()) {
+            continue;
+        }
+        if let Some(shared) = shared_mut_param(&def.params) {
+            findings.push(Finding {
+                rule: "no-shared-mut-in-local-phase",
+                file: sources[def.file].0.clone(),
+                line: def.line,
+                message: format!(
+                    "`{}` takes `&mut {shared}` but is reachable from `{LOCAL_PHASE_ROOT}`; \
+                     shared structures may only be mutated in the serial commit phase",
+                    def.name
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+/// Folds cross-file findings into `report`, honouring `lint: allow`
+/// directives in the flagged files.
+fn absorb_cross_file(report: &mut Report, findings: Vec<Finding>, sources: &[(PathBuf, String)]) {
+    for finding in findings {
+        let allow = sources
+            .iter()
+            .find(|(p, _)| *p == finding.file)
+            .and_then(|(_, src)| {
+                scan::scan(src)
+                    .allow_for(finding.rule, finding.line)
+                    .map(|a| a.reason.clone())
+            });
+        match allow {
+            Some(reason) => report.suppressed.push(Suppression {
+                rule: finding.rule,
+                file: finding.file,
+                line: finding.line,
+                reason,
+            }),
+            None => report.findings.push(finding),
+        }
+    }
+}
+
 /// Lints one file's source under the given context. `file` is only used
 /// to label findings.
 pub fn lint_source(file: &Path, source: &str, ctx: FileContext) -> Report {
@@ -629,11 +923,18 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     // first registration lives in a *different* file of the same crate.
     let mut metric_sites: std::collections::BTreeMap<(String, String), (PathBuf, usize)> =
         std::collections::BTreeMap::new();
+    // Library sources of `crates/sim/src`, for the cross-file call-graph
+    // half of `no-shared-mut-in-local-phase`.
+    let mut sim_sources: Vec<(PathBuf, String)> = Vec::new();
     for path in files {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
         let source = fs::read_to_string(&path)?;
         let ctx = classify(&rel);
         report.absorb(lint_source(&rel, &source, ctx));
+
+        if ctx.kind == CodeKind::Lib && rel.starts_with("crates/sim/src") {
+            sim_sources.push((rel.clone(), source.clone()));
+        }
 
         if ctx.strict && ctx.kind == CodeKind::Lib {
             let crate_name = rel
@@ -677,11 +978,15 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
             }
         }
     }
+    let violations = local_phase_violations(&sim_sources);
+    absorb_cross_file(&mut report, violations, &sim_sources);
     Ok(report)
 }
 
 /// Lints explicitly named files or directories under the strictest
 /// profile (every rule applies). This is how the fixtures are checked.
+/// The whole file set forms one call-graph universe for
+/// `no-shared-mut-in-local-phase`.
 pub fn lint_paths(paths: &[PathBuf]) -> io::Result<Report> {
     let mut files = Vec::new();
     for path in paths {
@@ -692,11 +997,17 @@ pub fn lint_paths(paths: &[PathBuf]) -> io::Result<Report> {
         }
     }
     files.sort();
-    let mut report = Report::default();
+    let mut sources: Vec<(PathBuf, String)> = Vec::with_capacity(files.len());
     for path in files {
         let source = fs::read_to_string(&path)?;
-        report.absorb(lint_source(&path, &source, FileContext::strictest()));
+        sources.push((path, source));
     }
+    let mut report = Report::default();
+    for (path, source) in &sources {
+        report.absorb(lint_source(path, source, FileContext::strictest()));
+    }
+    let violations = local_phase_violations(&sources);
+    absorb_cross_file(&mut report, violations, &sources);
     Ok(report)
 }
 
@@ -886,6 +1197,105 @@ mod tests {
         assert!(r.is_clean(), "{:?}", r.findings);
         assert_eq!(r.suppressed.len(), 1);
         assert_eq!(r.suppressed[0].rule, "no-dup-metric-name");
+    }
+
+    /// Runs the call-graph pass over in-memory files and returns
+    /// `(file, line)` pairs of its findings.
+    fn local_phase(files: &[(&str, &str)]) -> Vec<(String, usize)> {
+        let sources: Vec<(PathBuf, String)> = files
+            .iter()
+            .map(|(p, s)| (PathBuf::from(p), (*s).to_string()))
+            .collect();
+        local_phase_violations(&sources)
+            .into_iter()
+            .map(|f| (f.file.display().to_string(), f.line))
+            .collect()
+    }
+
+    #[test]
+    fn local_phase_flags_reachable_shared_mut() {
+        let src = "\
+struct MemSystem;
+fn cycle_local(x: u32) {
+    stage(x);
+}
+fn stage(x: u32) {
+    let mut mem = MemSystem;
+    push_back(x, &mut mem);
+}
+fn push_back(_x: u32, _mem: &mut MemSystem) {}
+fn commit_only(_mem: &mut MemSystem) {}
+";
+        // `push_back` is two hops from the root; `commit_only` has the
+        // same signature but is unreachable, so only line 9 fires.
+        assert_eq!(local_phase(&[("a.rs", src)]), vec![("a.rs".to_string(), 9)]);
+    }
+
+    #[test]
+    fn local_phase_reaches_across_files() {
+        let a = "fn cycle_local() {\n    remote_stage();\n}\n";
+        let b = "\
+struct Gwde;
+fn remote_stage() {
+    let mut g = Gwde;
+    grab(&mut g);
+}
+fn grab(_g: &mut Gwde) {}
+";
+        assert_eq!(
+            local_phase(&[("a.rs", a), ("b.rs", b)]),
+            vec![("b.rs".to_string(), 6)]
+        );
+    }
+
+    #[test]
+    fn local_phase_allows_shared_refs_and_mut_self() {
+        let src = "\
+struct MemSystem;
+impl S {
+    fn cycle_local(&mut self, mem: &MemSystem) {
+        self.observe(mem);
+    }
+    fn observe(&mut self, _mem: &MemSystem) {}
+}
+";
+        assert_eq!(local_phase(&[("a.rs", src)]), Vec::new());
+    }
+
+    #[test]
+    fn local_phase_is_inert_without_a_root() {
+        let src = "struct MemSystem;\nfn fill(_m: &mut MemSystem) {}\n";
+        assert_eq!(local_phase(&[("a.rs", src)]), Vec::new());
+    }
+
+    #[test]
+    fn local_phase_skips_test_regions() {
+        let src = "\
+struct MemSystem;
+fn fill(_m: &mut MemSystem) {}
+#[cfg(test)]
+mod tests {
+    fn cycle_local() {
+        fill();
+    }
+}
+";
+        assert_eq!(local_phase(&[("a.rs", src)]), Vec::new());
+    }
+
+    #[test]
+    fn local_phase_handles_generic_signatures() {
+        let src = "\
+struct Gwde;
+fn cycle_local<F: Fn() -> u32>(f: F) -> Vec<u32> {
+    let mut g = Gwde;
+    route(f(), &mut g)
+}
+fn route(_x: u32, _g: &mut Gwde) -> Vec<u32> {
+    Vec::new()
+}
+";
+        assert_eq!(local_phase(&[("a.rs", src)]), vec![("a.rs".to_string(), 6)]);
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //!   hygiene lint suite. With no paths, lints the whole workspace with
 //!   per-crate rule coverage; explicit paths are linted under the
 //!   strictest profile. Exits non-zero when findings survive.
-//! * `cargo xtask ci` — the offline CI driver: release build, test
-//!   suite, `validate`-feature test suite, the lint pass, a `sim-report`
-//!   artifact smoke test, and a formatting check (skipped with a warning
-//!   when rustfmt is absent).
+//! * `cargo xtask ci` — the offline CI driver: release build, the test
+//!   suite twice (`SIM_THREADS=1` and `SIM_THREADS=max`, exercising both
+//!   the serial and parallel engine stepping paths), the
+//!   `validate`-feature test suite under the thread pool, the lint pass,
+//!   a `sim-report` artifact smoke test, and a formatting check (skipped
+//!   with a warning when rustfmt is absent).
 
 use std::env;
 use std::path::PathBuf;
@@ -83,9 +85,16 @@ fn cmd_lint(paths: &[String]) -> i32 {
 
 /// Runs one cargo step, streaming its output; returns success.
 fn run_step(cargo: &str, label: &str, args: &[&str]) -> bool {
-    println!("==> {label}: cargo {}", args.join(" "));
+    run_step_env(cargo, label, args, &[])
+}
+
+/// Like [`run_step`], with extra environment variables for the child.
+fn run_step_env(cargo: &str, label: &str, args: &[&str], envs: &[(&str, &str)]) -> bool {
+    let prefix: String = envs.iter().map(|(k, v)| format!("{k}={v} ")).collect();
+    println!("==> {label}: {prefix}cargo {}", args.join(" "));
     match Command::new(cargo)
         .args(args)
+        .envs(envs.iter().map(|&(k, v)| (k, v)))
         .current_dir(workspace_root())
         .status()
     {
@@ -101,16 +110,33 @@ fn run_step(cargo: &str, label: &str, args: &[&str]) -> bool {
     }
 }
 
+/// One CI step: label, cargo arguments, extra environment.
+type CiStep<'a> = (&'a str, &'a [&'a str], &'a [(&'a str, &'a str)]);
+
 fn cmd_ci() -> i32 {
     let cargo = env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
 
-    let steps: &[(&str, &[&str])] = &[
-        ("build", &["build", "--release"]),
-        ("test", &["test", "-q"]),
-        ("test (validate)", &["test", "-q", "--features", "validate"]),
+    // The test suite runs twice: serially, and with `SIM_THREADS=max`
+    // driving the engine's parallel two-phase stepping path wherever the
+    // harness runner is used. Both runs must pass — parallel stepping is
+    // bit-identical by contract, so any divergence is a real bug. The
+    // `validate` sanitizers also run under the thread pool.
+    let steps: &[CiStep] = &[
+        ("build", &["build", "--release"], &[]),
+        ("test (serial)", &["test", "-q"], &[("SIM_THREADS", "1")]),
+        (
+            "test (parallel)",
+            &["test", "-q"],
+            &[("SIM_THREADS", "max")],
+        ),
+        (
+            "test (validate, parallel)",
+            &["test", "-q", "--features", "validate"],
+            &[("SIM_THREADS", "max")],
+        ),
     ];
-    for (label, args) in steps {
-        if !run_step(&cargo, label, args) {
+    for (label, args, envs) in steps {
+        if !run_step_env(&cargo, label, args, envs) {
             return 1;
         }
     }

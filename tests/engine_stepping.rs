@@ -148,7 +148,9 @@ fn mid_run_inspection_is_nonintrusive() {
     assert!(engine.now_fs() > 0);
     assert!(!engine.is_complete());
     // Peek at the SMs mid-run.
-    let resident: usize = engine.sms().iter().map(|s| s.resident_warps()).sum();
+    let resident: usize = (0..engine.num_sms())
+        .map(|i| engine.with_sm(i, |s| s.resident_warps()))
+        .sum();
     assert!(resident > 0, "warps are resident mid-run");
     let mid = engine.stats();
     assert!(mid.wall_time_fs < oneshot.wall_time_fs);

@@ -1,0 +1,157 @@
+//! Parallel stepping is a pure wall-clock knob: for any
+//! `SimOptions::threads` value the two-phase cycle must produce
+//! bit-identical `RunStats` — epoch timelines included — to a serial
+//! run. These tests pin that property across the tier-1 workloads, the
+//! per-SM-VRM machine and runs with mid-run VF transitions.
+
+use std::sync::Arc;
+
+use equalizer_core::{Equalizer, Mode};
+use equalizer_sim::governor::{
+    EpochContext, EpochDecision, Governor, SmEpochReport, StaticGovernor, VfRequest,
+};
+use equalizer_sim::gpu::{simulate_with, SimOptions};
+use equalizer_sim::kernel::{Invocation, KernelCategory, KernelSpec};
+use equalizer_sim::prelude::*;
+use equalizer_sim::stats::RunStats;
+use equalizer_workloads::kernel_by_name;
+
+fn opts(threads: usize) -> SimOptions {
+    SimOptions {
+        threads,
+        ..SimOptions::default()
+    }
+}
+
+/// Runs `kernel` serially and at several thread counts with fresh
+/// governors from `make_gov`, asserting every run's complete statistics
+/// are bit-identical to the serial run.
+fn assert_thread_invariant<G, F>(name: &str, config: &GpuConfig, kernel: &KernelSpec, make_gov: F)
+where
+    G: Governor,
+    F: Fn() -> G,
+{
+    let serial: RunStats = simulate_with(config, kernel, &mut make_gov(), opts(1))
+        .unwrap_or_else(|e| panic!("{name}: serial run failed: {e}"));
+    assert!(serial.instructions() > 0, "{name}: kernel must do work");
+    for threads in [2, usize::MAX] {
+        let parallel = simulate_with(config, kernel, &mut make_gov(), opts(threads))
+            .unwrap_or_else(|e| panic!("{name}: threads={threads} run failed: {e}"));
+        assert_eq!(
+            serial, parallel,
+            "{name}: threads={threads} diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn tier1_workloads_are_thread_invariant() {
+    let mut config = GpuConfig::gtx480();
+    config.num_sms = 6;
+    for name in ["mri-q", "mmer", "cfd-2"] {
+        let kernel = kernel_by_name(name).unwrap();
+        assert_thread_invariant(name, &config, &kernel, || StaticGovernor);
+    }
+}
+
+#[test]
+fn equalizer_runs_are_thread_invariant() {
+    let mut config = GpuConfig::gtx480();
+    config.num_sms = 6;
+    let kernel = kernel_by_name("mmer").unwrap();
+    assert_thread_invariant("equalizer/mmer", &config, &kernel, || {
+        Equalizer::new(Mode::Performance, config.num_sms)
+    });
+}
+
+#[test]
+fn mshr_pressure_is_thread_invariant() {
+    // A cache-thrashing kernel keeps the interconnect back-pressured, so
+    // the commit phase's arbitration order is exercised every cycle —
+    // exactly where a parallel-stepping bug would first show up.
+    let mut config = GpuConfig::gtx480();
+    config.num_sms = 4;
+    let kernel = equalizer_workloads::cache_kernel(
+        "parallel-thrash",
+        8,
+        6,
+        1.0,
+        equalizer_workloads::CacheParams {
+            lines_per_warp: 96,
+            divergence: 4,
+            alu_per_load: 2,
+            alu_dep_every: 0,
+            iterations: 30,
+            waves: 2.0,
+        },
+    );
+    assert_thread_invariant("thrash", &config, &kernel, || StaticGovernor);
+}
+
+#[test]
+fn per_sm_vrm_runs_are_thread_invariant() {
+    // Per-SM VRMs drift the SM clocks apart, so different subsets of SMs
+    // are due each tick; the due list (and thus the commit order) must
+    // still be thread-count independent.
+    let mut config = GpuConfig::gtx480();
+    config.num_sms = 6;
+    config.per_sm_vrm = true;
+    let kernel = kernel_by_name("sc").unwrap();
+    assert_thread_invariant("per-sm-vrm/sc", &config, &kernel, || {
+        Equalizer::new(Mode::Energy, 6).with_per_sm_vrm(true)
+    });
+}
+
+/// Boosts the SM domain at the first epoch and throttles it two epochs
+/// later, so the run crosses VF transitions (period changes) mid-flight.
+#[derive(Default)]
+struct BoostThenThrottle {
+    epochs: u64,
+}
+
+impl Governor for BoostThenThrottle {
+    fn name(&self) -> &str {
+        "boost-then-throttle"
+    }
+    fn epoch(&mut self, _ctx: &EpochContext, reports: &[SmEpochReport]) -> EpochDecision {
+        self.epochs += 1;
+        let mut d = EpochDecision::maintain(reports.len());
+        match self.epochs {
+            1 => {
+                d.sm_vf = VfRequest::Increase;
+                d.target_blocks = reports.iter().map(|_| Some(2)).collect();
+            }
+            3 => {
+                d.sm_vf = VfRequest::Decrease;
+                d.mem_vf = VfRequest::Increase;
+            }
+            _ => {}
+        }
+        d
+    }
+}
+
+#[test]
+fn mid_run_vf_transitions_are_thread_invariant() {
+    let mut config = GpuConfig::gtx480();
+    config.num_sms = 4;
+    let kernel = KernelSpec::new(
+        "vf-mix",
+        KernelCategory::Compute,
+        4,
+        8,
+        vec![Invocation {
+            grid_blocks: 48,
+            program: Arc::new(Program::new(vec![Segment::new(
+                vec![
+                    Instr::alu(),
+                    Instr::load_streaming(),
+                    Instr::alu_dep(),
+                    Instr::Sync,
+                ],
+                900,
+            )])),
+        }],
+    );
+    assert_thread_invariant("vf-mix", &config, &kernel, BoostThenThrottle::default);
+}

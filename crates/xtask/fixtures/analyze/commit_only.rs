@@ -1,0 +1,49 @@
+//! Analyze fixture: `commit-only-mutation`. The commit-phase call tree
+//! (`cycle` → `commit` → `drain_queues`/`refill_scoreboard`) is the
+//! only place a `SharedWrite` effect is sanctioned. `rogue_inject` and
+//! `rogue_tally` carry the same signatures outside that tree and must
+//! be flagged. The local phase is pure, so `local-phase-purity` stays
+//! quiet.
+
+struct MemSystem {
+    pending: Vec<u64>,
+}
+
+struct Gwde {
+    ready: Vec<u64>,
+}
+
+struct RunStats {
+    commits: u64,
+}
+
+fn cycle_local(now: u64) -> u64 {
+    now.wrapping_add(1)
+}
+
+fn cycle(now: u64, mem: &mut MemSystem, gw: &mut Gwde, stats: &mut RunStats) {
+    let _ = cycle_local(now);
+    commit(now, mem, gw, stats);
+}
+
+fn commit(now: u64, mem: &mut MemSystem, gw: &mut Gwde, stats: &mut RunStats) {
+    drain_queues(now, mem);
+    refill_scoreboard(now, gw);
+    stats.commits += 1;
+}
+
+fn drain_queues(now: u64, mem: &mut MemSystem) {
+    mem.pending.retain(|&t| t > now);
+}
+
+fn refill_scoreboard(now: u64, gw: &mut Gwde) {
+    gw.ready.push(now);
+}
+
+fn rogue_inject(now: u64, mem: &mut MemSystem) { //~ commit-only-mutation
+    mem.pending.push(now);
+}
+
+fn rogue_tally(_now: u64, stats: &mut RunStats) { //~ commit-only-mutation
+    stats.commits += 1;
+}

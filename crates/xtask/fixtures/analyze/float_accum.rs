@@ -1,0 +1,14 @@
+//! Analyze fixture: `float-accum-order`. Summing floats out of an
+//! unordered container is order-dependent (float addition is not
+//! associative), so `skewed_power` draws the advisory warning at the
+//! reduction itself. The same reduction over a slice is deterministic
+//! and stays clean.
+
+fn skewed_power(readings: &HashMap<u32, f64>) -> f64 {
+    let raw = readings.values().copied();
+    raw.sum::<f64>() //~ float-accum-order
+}
+
+fn ordered_power(readings: &[f64]) -> f64 {
+    readings.iter().copied().sum::<f64>()
+}

@@ -1,0 +1,45 @@
+//! Analyze fixture: `lock-order`. The pool discipline is "at most one
+//! SM lock held at a time, always through `lock_sm`". Sequential
+//! acquisition with an explicit `drop` is fine, and closure
+//! temporaries die when their call's parens close — the engine's
+//! map/sum sampling shape must stay clean. Overlapping guards and raw
+//! `.lock()` bypasses are flagged at the offending acquisition.
+
+struct Sm {
+    score: u64,
+}
+
+fn lock_sm(cell: &Mutex<Sm>) -> MutexGuard<'_, Sm> {
+    cell.lock().expect("SM mutex poisoned")
+}
+
+fn serial_ok(cells: &[Mutex<Sm>]) -> u64 {
+    let sm = lock_sm(&cells[0]);
+    let a = sm.score;
+    drop(sm);
+    let sm = lock_sm(&cells[1]);
+    a + sm.score
+}
+
+fn tally_ok(cells: &[Mutex<Sm>]) -> u64 {
+    cells.iter().map(|c| lock_sm(c).score).sum::<u64>()
+}
+
+fn double_lock(cells: &[Mutex<Sm>]) -> u64 {
+    let first = lock_sm(&cells[0]);
+    let second = lock_sm(&cells[1]); //~ lock-order
+    first.score + second.score
+}
+
+fn nested_args(cells: &[Mutex<Sm>]) -> u64 {
+    merge(lock_sm(&cells[0]).score, lock_sm(&cells[1]).score) //~ lock-order
+}
+
+fn raw_bypass(cells: &[Mutex<Sm>]) -> u64 {
+    let sm = cells[0].lock().expect("SM mutex poisoned"); //~ lock-order
+    sm.score
+}
+
+fn merge(a: u64, b: u64) -> u64 {
+    a + b
+}

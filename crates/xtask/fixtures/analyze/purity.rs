@@ -1,0 +1,59 @@
+//! Analyze fixture: `local-phase-purity`. One offender per impure
+//! effect class, every one reachable from `cycle_local`: a shared-write
+//! signature, interior mutability, randomness, wall-clock time, I/O,
+//! and unordered iteration. `blessed` carries the same kind of effect
+//! but is covered by the escape hatch; `pure_helper` is reachable and
+//! clean. No commit root is defined, so `commit-only-mutation` stays
+//! inert here.
+
+struct MemSystem {
+    pending: Vec<u64>,
+}
+
+fn cycle_local(now: u64) {
+    let mut mem = MemSystem { pending: Vec::new() };
+    write_shared(now, &mut mem);
+    peek_cell(now);
+    roll(now);
+    stamp(now);
+    log_progress(now);
+    count_lanes(now);
+    blessed(now);
+    pure_helper(now);
+}
+
+fn write_shared(_now: u64, _mem: &mut MemSystem) {} //~ local-phase-purity
+
+fn peek_cell(now: u64) { //~ local-phase-purity
+    let cell = core::cell::RefCell::new(now);
+    *cell.borrow_mut() += 1;
+}
+
+fn roll(now: u64) -> u64 { //~ local-phase-purity
+    now ^ rand::random::<u64>()
+}
+
+fn stamp(now: u64) -> u64 { //~ local-phase-purity
+    let t = Instant::now();
+    now + t.elapsed().as_nanos() as u64
+}
+
+fn log_progress(now: u64) { //~ local-phase-purity
+    eprintln!("cycle {now}");
+}
+
+fn count_lanes(now: u64) -> usize { //~ local-phase-purity
+    let mut lanes = HashMap::new();
+    lanes.insert(now, 1u32);
+    lanes.len()
+}
+
+// lint: allow(local-phase-purity) -- fixture: the escape hatch must suppress analyze rules too
+fn blessed(now: u64) -> u64 {
+    let t = Instant::now();
+    now + t.elapsed().as_nanos() as u64
+}
+
+fn pure_helper(now: u64) -> u64 {
+    now.wrapping_mul(0x9e37_79b9)
+}

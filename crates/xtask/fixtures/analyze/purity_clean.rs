@@ -1,0 +1,32 @@
+//! Analyze fixture: a clean two-phase miniature of the engine's SM
+//! cycle. `cycle_local` computes against private state only; `commit`
+//! is the sole holder of a `&mut MemSystem`. The whole file must pass
+//! every analyze rule untouched — the mutation tests in
+//! `tests/analyze.rs` rewrite the `MUTATION-POINT` line below to prove
+//! that an injected shared-state write inside the local phase is
+//! caught even when no signature changes.
+
+struct MemSystem {
+    pending: Vec<u64>,
+}
+
+struct Sm {
+    score: u64,
+    queue: Vec<u64>,
+}
+
+impl Sm {
+    fn cycle_local(&mut self, now: u64) {
+        let verdict = self.classify(now);
+        self.queue.push(verdict);
+    }
+
+    fn classify(&mut self, now: u64) -> u64 {
+        // MUTATION-POINT
+        self.score.wrapping_add(now)
+    }
+
+    fn commit(&mut self, mem: &mut MemSystem) {
+        mem.pending.append(&mut self.queue);
+    }
+}

@@ -1,0 +1,36 @@
+//! Fixture: call-graph shapes for `no-shared-mut-in-local-phase`. The
+//! old pass matched calls by substring and missed `Self::f(..)`, UFCS
+//! `Type::f(..)`, turbofish `f::<T>(..)`, bare `Path::f` references
+//! passed as values, and calls made inside closures. Every sink below
+//! is reached through one of those shapes and takes shared state by
+//! `&mut`, so each must be flagged.
+
+struct MemSystem;
+struct Gwde;
+
+struct Stager {
+    lanes: Vec<u64>,
+}
+
+impl Stager {
+    fn cycle_local(&mut self, now: u64) {
+        let mut mem = MemSystem;
+        let mut gw = Gwde;
+        Self::via_self(now, &mut mem);
+        Stager::via_ufcs(now, &mut gw);
+        via_turbofish::<u64>(now, &mut mem);
+        let push = Self::via_bare_ref;
+        push(now, &mut gw);
+        self.lanes.iter().for_each(|lane| via_closure(*lane, &mut mem));
+    }
+
+    fn via_self(_now: u64, _mem: &mut MemSystem) {} //~ no-shared-mut-in-local-phase
+
+    fn via_ufcs(_now: u64, _gw: &mut Gwde) {} //~ no-shared-mut-in-local-phase
+
+    fn via_bare_ref(_now: u64, _gw: &mut Gwde) {} //~ no-shared-mut-in-local-phase
+}
+
+fn via_turbofish<T>(_now: u64, _mem: &mut MemSystem) {} //~ no-shared-mut-in-local-phase
+
+fn via_closure(_lane: u64, _mem: &mut MemSystem) {} //~ no-shared-mut-in-local-phase

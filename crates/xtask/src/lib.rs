@@ -54,7 +54,17 @@
 //! It covers its own line and the one below it, requires a non-empty
 //! reason after `--`, and every suppression is counted and reported so
 //! exemptions stay visible.
+//!
+//! On top of the token linter sits the effect-analysis engine
+//! (`cargo xtask analyze`): [`model`] builds a call-graph source model,
+//! [`effects`] infers and propagates per-function effect sets, and
+//! [`rules`] checks the two-phase discipline (`local-phase-purity`,
+//! `commit-only-mutation`, `lock-order`, `float-accum-order`) with the
+//! same escape hatch. See `DESIGN.md` §10.
 
+pub mod effects;
+pub mod model;
+pub mod rules;
 pub mod scan;
 
 use std::fmt;
@@ -62,7 +72,13 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use model::{has_token, is_ident_char};
 use scan::Scanned;
+
+pub use rules::{
+    analyze_paths, analyze_sources, analyze_workspace, explain, AnalysisFinding, AnalysisReport,
+    Severity, ANALYZE_CRATES, ANALYZE_RULES,
+};
 
 /// Every rule the linter knows, in reporting order.
 pub const RULES: &[&str] = &[
@@ -264,28 +280,6 @@ impl Report {
     }
 }
 
-fn is_ident_char(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-/// Token-boundary-aware substring search on a stripped code line.
-fn has_token(code: &str, token: &str) -> bool {
-    let first_is_ident = token.chars().next().is_some_and(is_ident_char);
-    let last_is_ident = token.chars().last().is_some_and(is_ident_char);
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(token) {
-        let at = start + pos;
-        let end = at + token.len();
-        let pre_ok = !first_is_ident || !code[..at].chars().next_back().is_some_and(is_ident_char);
-        let post_ok = !last_is_ident || !code[end..].chars().next().is_some_and(is_ident_char);
-        if pre_ok && post_ok {
-            return true;
-        }
-        start = end;
-    }
-    false
-}
-
 /// The registry entry points whose first string-literal argument is a
 /// metric name, for `no-dup-metric-name`.
 const METRIC_REGISTRATION_FNS: &[&str] =
@@ -456,197 +450,13 @@ const LOCAL_PHASE_ROOT: &str = "cycle_local";
 /// commit phase.
 const LOCAL_PHASE_SHARED: &[&str] = &["MemSystem", "Gwde"];
 
-/// One `fn` definition extracted from a file's code view, for the
-/// `no-shared-mut-in-local-phase` call-graph pass.
-#[derive(Debug)]
-struct FnDef {
-    /// Index of the source in the input slice.
-    file: usize,
-    /// 1-indexed line of the `fn` keyword.
-    line: usize,
-    /// Function name.
-    name: String,
-    /// Parameter-list text between the outer parentheses.
-    params: String,
-    /// Body text between the outer braces (empty for trait signatures).
-    body: String,
-}
-
-/// The comment- and string-stripped code of `source` with `#[cfg(test)]`
-/// lines blanked, newline structure preserved so extracted definitions
-/// keep their real line numbers.
-fn code_view(source: &str) -> String {
-    let scanned = scan::scan(source);
-    let mut view = String::with_capacity(source.len());
-    for line in &scanned.lines {
-        if !line.in_test {
-            view.push_str(&line.code);
-        }
-        view.push('\n');
-    }
-    view
-}
-
-/// Extracts every `fn` definition in `view` (a [`code_view`]) into
-/// `out`, tagged with `file`. Scanning resumes just inside each body so
-/// nested definitions are extracted too (their calls also attribute to
-/// the enclosing function, which is conservative and fine for a lint).
-fn extract_fns(file: usize, view: &str, out: &mut Vec<FnDef>) {
-    let chars: Vec<char> = view.chars().collect();
-    let skip_ws = |mut j: usize| {
-        while chars.get(j).copied().is_some_and(char::is_whitespace) {
-            j += 1;
-        }
-        j
-    };
-    let mut i = 0usize;
-    while i < chars.len() {
-        if chars[i] != 'f' || chars.get(i + 1) != Some(&'n') {
-            i += 1;
-            continue;
-        }
-        let pre_ok = i == 0 || !is_ident_char(chars[i - 1]);
-        let post_ok = !chars.get(i + 2).copied().is_some_and(is_ident_char);
-        if !(pre_ok && post_ok) {
-            i += 2;
-            continue;
-        }
-        let def_at = i;
-        let mut j = skip_ws(i + 2);
-        let name_start = j;
-        while chars.get(j).copied().is_some_and(is_ident_char) {
-            j += 1;
-        }
-        if j == name_start {
-            // `fn(` — a function-pointer type, not a definition.
-            i += 2;
-            continue;
-        }
-        let name: String = chars[name_start..j].iter().collect();
-        j = skip_ws(j);
-        // Generic parameters; `>` preceded by `-` is a return arrow
-        // inside an `Fn() -> T` bound, not a closer.
-        if chars.get(j) == Some(&'<') {
-            let mut angle = 0i32;
-            while j < chars.len() {
-                match chars[j] {
-                    '<' => angle += 1,
-                    '>' if j > 0 && chars[j - 1] != '-' => {
-                        angle -= 1;
-                        if angle == 0 {
-                            j += 1;
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                j += 1;
-            }
-        }
-        j = skip_ws(j);
-        if chars.get(j) != Some(&'(') {
-            i = j.max(i + 2);
-            continue;
-        }
-        let params_start = j + 1;
-        let mut params_end = params_start;
-        let mut depth = 0i32;
-        while j < chars.len() {
-            match chars[j] {
-                '(' => depth += 1,
-                ')' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        params_end = j;
-                        j += 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        let params: String = chars[params_start..params_end.max(params_start)]
-            .iter()
-            .collect();
-        // Return type / where clause run to the body `{` or, for a
-        // bodiless trait signature, a `;`.
-        while j < chars.len() && chars[j] != '{' && chars[j] != ';' {
-            j += 1;
-        }
-        let mut body = String::new();
-        let mut resume = j;
-        if chars.get(j) == Some(&'{') {
-            let body_start = j + 1;
-            let mut braces = 1i32;
-            let mut k = body_start;
-            while k < chars.len() {
-                match chars[k] {
-                    '{' => braces += 1,
-                    '}' => {
-                        braces -= 1;
-                        if braces == 0 {
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                k += 1;
-            }
-            body = chars[body_start..k.min(chars.len())].iter().collect();
-            resume = body_start;
-        }
-        let line = 1 + chars[..def_at].iter().filter(|&&c| c == '\n').count();
-        out.push(FnDef {
-            file,
-            line,
-            name,
-            params,
-            body,
-        });
-        i = resume.max(i + 2);
-    }
-}
-
-/// True when `body` contains a call-shaped reference to `name`: the
-/// identifier token followed (after optional whitespace) by `(`. Matches
-/// free calls, method calls and UFCS; macro invocations (`name!(`) and
-/// plain mentions do not count.
-fn body_calls(body: &str, name: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = body[start..].find(name) {
-        let at = start + pos;
-        let end = at + name.len();
-        let pre_ok = !body[..at].chars().next_back().is_some_and(is_ident_char);
-        if pre_ok && body[end..].trim_start().starts_with('(') {
-            return true;
-        }
-        start = end;
-    }
-    false
-}
-
 /// The shared type named by a `&mut` parameter in `params`, if any.
-/// The type text is read up to the parameter's comma, so `&mut self`
-/// and shared references (`&MemSystem`) never match.
+/// Built on [`model::mut_ref_param_types`], so `&mut self` and shared
+/// references (`&MemSystem`) never match.
 fn shared_mut_param(params: &str) -> Option<&'static str> {
-    let mut rest = params;
-    while let Some(pos) = rest.find('&') {
-        rest = &rest[pos + 1..];
-        let mut after = rest.trim_start();
-        // An optional lifetime sits between `&` and `mut`.
-        if let Some(lt) = after.strip_prefix('\'') {
-            after = lt.trim_start_matches(is_ident_char).trim_start();
-        }
-        let Some(ty) = after.strip_prefix("mut") else {
-            continue;
-        };
-        if ty.chars().next().is_some_and(is_ident_char) {
-            continue; // an identifier starting with `mut…`
-        }
-        let ty = ty.split(',').next().unwrap_or(ty);
+    for ty in model::mut_ref_param_types(params) {
         for &shared in LOCAL_PHASE_SHARED {
-            if has_token(ty, shared) {
+            if has_token(&ty, shared) {
                 return Some(shared);
             }
         }
@@ -659,41 +469,32 @@ fn shared_mut_param(params: &str) -> Option<&'static str> {
 /// [`LOCAL_PHASE_ROOT`] definition that takes a [`LOCAL_PHASE_SHARED`]
 /// type by `&mut` is a finding (anchored at its definition line).
 ///
-/// Reachability is by function *name*, which merges same-named methods
-/// across types — conservative in the right direction for a lint.
-/// Suppressions are not applied here; callers check `allow_for` against
-/// the flagged file.
+/// Reachability runs over the [`model::Model`] call graph, which sees
+/// `Self::f(..)`, UFCS `Type::f(..)`, turbofish calls, bare `Path::f`
+/// references and calls inside closures. It is name-merged — same-named
+/// methods across types become one node — which is conservative in the
+/// right direction for a lint. Suppressions are not applied here;
+/// callers check `allow_for` against the flagged file.
 pub fn local_phase_violations(sources: &[(PathBuf, String)]) -> Vec<Finding> {
-    let mut defs: Vec<FnDef> = Vec::new();
-    for (idx, (_, source)) in sources.iter().enumerate() {
-        extract_fns(idx, &code_view(source), &mut defs);
-    }
-    if !defs.iter().any(|d| d.name == LOCAL_PHASE_ROOT) {
+    local_phase_from_model(&model::Model::from_sources(sources))
+}
+
+/// The model-based body of [`local_phase_violations`], shared with the
+/// single-scan workspace driver.
+fn local_phase_from_model(model: &model::Model) -> Vec<Finding> {
+    if !model.defines(LOCAL_PHASE_ROOT) {
         return Vec::new();
     }
-    let known: std::collections::BTreeSet<&str> = defs.iter().map(|d| d.name.as_str()).collect();
-    let mut reachable: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
-    reachable.insert(LOCAL_PHASE_ROOT);
-    let mut queue: Vec<&str> = vec![LOCAL_PHASE_ROOT];
-    while let Some(name) = queue.pop() {
-        for def in defs.iter().filter(|d| d.name == name) {
-            for &callee in &known {
-                if !reachable.contains(callee) && body_calls(&def.body, callee) {
-                    reachable.insert(callee);
-                    queue.push(callee);
-                }
-            }
-        }
-    }
+    let reachable = model.reachable_defs(&[LOCAL_PHASE_ROOT]);
     let mut findings: Vec<Finding> = Vec::new();
-    for def in &defs {
-        if !reachable.contains(def.name.as_str()) {
+    for (idx, def) in model.defs.iter().enumerate() {
+        if !reachable.contains(&idx) {
             continue;
         }
         if let Some(shared) = shared_mut_param(&def.params) {
             findings.push(Finding {
                 rule: "no-shared-mut-in-local-phase",
-                file: sources[def.file].0.clone(),
+                file: model.files[def.file].clone(),
                 line: def.line,
                 message: format!(
                     "`{}` takes `&mut {shared}` but is reachable from `{LOCAL_PHASE_ROOT}`; \
@@ -707,18 +508,24 @@ pub fn local_phase_violations(sources: &[(PathBuf, String)]) -> Vec<Finding> {
     findings
 }
 
+/// One file of a lint run, read and scanned exactly once and shared by
+/// every per-file and cross-file pass.
+struct FileEntry {
+    rel: PathBuf,
+    source: String,
+    ctx: FileContext,
+    scanned: Scanned,
+}
+
 /// Folds cross-file findings into `report`, honouring `lint: allow`
-/// directives in the flagged files.
-fn absorb_cross_file(report: &mut Report, findings: Vec<Finding>, sources: &[(PathBuf, String)]) {
+/// directives in the flagged files (using their already-built scans).
+fn absorb_cross_file(report: &mut Report, findings: Vec<Finding>, entries: &[FileEntry]) {
     for finding in findings {
-        let allow = sources
+        let allow = entries
             .iter()
-            .find(|(p, _)| *p == finding.file)
-            .and_then(|(_, src)| {
-                scan::scan(src)
-                    .allow_for(finding.rule, finding.line)
-                    .map(|a| a.reason.clone())
-            });
+            .find(|e| e.rel == finding.file)
+            .and_then(|e| e.scanned.allow_for(finding.rule, finding.line))
+            .map(|a| a.reason.clone());
         match allow {
             Some(reason) => report.suppressed.push(Suppression {
                 rule: finding.rule,
@@ -735,6 +542,12 @@ fn absorb_cross_file(report: &mut Report, findings: Vec<Finding>, sources: &[(Pa
 /// to label findings.
 pub fn lint_source(file: &Path, source: &str, ctx: FileContext) -> Report {
     let scanned = scan::scan(source);
+    lint_scanned(file, source, &scanned, ctx)
+}
+
+/// The per-file lint body over an already-built scan, so workspace
+/// walks scan each file exactly once.
+fn lint_scanned(file: &Path, source: &str, scanned: &Scanned, ctx: FileContext) -> Report {
     let mut report = Report {
         files_scanned: 1,
         ..Report::default()
@@ -754,7 +567,7 @@ pub fn lint_source(file: &Path, source: &str, ctx: FileContext) -> Report {
             continue;
         }
         for rule in &allow.rules {
-            if !RULES.contains(&rule.as_str()) {
+            if !RULES.contains(&rule.as_str()) && !ANALYZE_RULES.contains(&rule.as_str()) {
                 report.findings.push(Finding {
                     rule: "malformed-allow",
                     file: file.to_path_buf(),
@@ -794,7 +607,7 @@ pub fn lint_source(file: &Path, source: &str, ctx: FileContext) -> Report {
 
         if ctx.docs_required && ctx.kind == CodeKind::Lib {
             if let Some(keyword) = pub_item_keyword(&line.code) {
-                if !has_doc_above(&scanned, idx) {
+                if !has_doc_above(scanned, idx) {
                     candidates.push((
                         ln,
                         "pub-docs",
@@ -890,7 +703,11 @@ pub fn classify(rel: &Path) -> FileContext {
     }
 }
 
-fn collect_rs_files(dir: &Path, skip_special: bool, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn collect_rs_files(
+    dir: &Path,
+    skip_special: bool,
+    out: &mut Vec<PathBuf>,
+) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
@@ -916,6 +733,22 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     let mut files = Vec::new();
     collect_rs_files(root, true, &mut files)?;
     files.sort();
+    // Read and scan every file exactly once; each pass below reuses the
+    // shared scans instead of re-reading per rule.
+    let mut entries: Vec<FileEntry> = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let source = fs::read_to_string(&path)?;
+        let ctx = classify(&rel);
+        let scanned = scan::scan(&source);
+        entries.push(FileEntry {
+            rel,
+            source,
+            ctx,
+            scanned,
+        });
+    }
+
     let mut report = Report::default();
     // (crate name, metric name) -> first registration site, for the
     // cross-file half of `no-dup-metric-name`. Within-file duplicates
@@ -923,48 +756,45 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     // first registration lives in a *different* file of the same crate.
     let mut metric_sites: std::collections::BTreeMap<(String, String), (PathBuf, usize)> =
         std::collections::BTreeMap::new();
-    // Library sources of `crates/sim/src`, for the cross-file call-graph
-    // half of `no-shared-mut-in-local-phase`.
-    let mut sim_sources: Vec<(PathBuf, String)> = Vec::new();
-    for path in files {
-        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-        let source = fs::read_to_string(&path)?;
-        let ctx = classify(&rel);
-        report.absorb(lint_source(&rel, &source, ctx));
+    // Library code views of `crates/sim/src`, for the cross-file
+    // call-graph half of `no-shared-mut-in-local-phase`.
+    let mut sim_views: Vec<(PathBuf, String)> = Vec::new();
+    for e in &entries {
+        report.absorb(lint_scanned(&e.rel, &e.source, &e.scanned, e.ctx));
 
-        if ctx.kind == CodeKind::Lib && rel.starts_with("crates/sim/src") {
-            sim_sources.push((rel.clone(), source.clone()));
+        if e.ctx.kind == CodeKind::Lib && e.rel.starts_with("crates/sim/src") {
+            sim_views.push((e.rel.clone(), model::code_view(&e.scanned)));
         }
 
-        if ctx.strict && ctx.kind == CodeKind::Lib {
-            let crate_name = rel
+        if e.ctx.strict && e.ctx.kind == CodeKind::Lib {
+            let crate_name = e
+                .rel
                 .components()
                 .nth(1)
                 .and_then(|c| c.as_os_str().to_str())
                 .unwrap_or("")
                 .to_string();
-            let scanned = scan::scan(&source);
-            for (ln, name) in metric_name_literals(&source) {
-                if scanned.lines.get(ln - 1).is_some_and(|l| l.in_test) {
+            for (ln, name) in metric_name_literals(&e.source) {
+                if e.scanned.lines.get(ln - 1).is_some_and(|l| l.in_test) {
                     continue;
                 }
                 match metric_sites.get(&(crate_name.clone(), name.clone())) {
-                    Some((first_file, first_line)) if *first_file != rel => {
+                    Some((first_file, first_line)) if *first_file != e.rel => {
                         let message = format!(
                             "metric name \"{name}\" is already registered in {}:{first_line}",
                             first_file.display()
                         );
-                        if let Some(allow) = scanned.allow_for("no-dup-metric-name", ln) {
+                        if let Some(allow) = e.scanned.allow_for("no-dup-metric-name", ln) {
                             report.suppressed.push(Suppression {
                                 rule: "no-dup-metric-name",
-                                file: rel.clone(),
+                                file: e.rel.clone(),
                                 line: ln,
                                 reason: allow.reason.clone(),
                             });
                         } else {
                             report.findings.push(Finding {
                                 rule: "no-dup-metric-name",
-                                file: rel.clone(),
+                                file: e.rel.clone(),
                                 line: ln,
                                 message,
                             });
@@ -972,14 +802,16 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
                     }
                     Some(_) => {}
                     None => {
-                        metric_sites.insert((crate_name.clone(), name.clone()), (rel.clone(), ln));
+                        metric_sites
+                            .insert((crate_name.clone(), name.clone()), (e.rel.clone(), ln));
                     }
                 }
             }
         }
     }
-    let violations = local_phase_violations(&sim_sources);
-    absorb_cross_file(&mut report, violations, &sim_sources);
+    let sim_model = model::Model::from_views(&sim_views);
+    let violations = local_phase_from_model(&sim_model);
+    absorb_cross_file(&mut report, violations, &entries);
     Ok(report)
 }
 
@@ -997,17 +829,27 @@ pub fn lint_paths(paths: &[PathBuf]) -> io::Result<Report> {
         }
     }
     files.sort();
-    let mut sources: Vec<(PathBuf, String)> = Vec::with_capacity(files.len());
+    let mut entries: Vec<FileEntry> = Vec::with_capacity(files.len());
     for path in files {
         let source = fs::read_to_string(&path)?;
-        sources.push((path, source));
+        let scanned = scan::scan(&source);
+        entries.push(FileEntry {
+            rel: path,
+            source,
+            ctx: FileContext::strictest(),
+            scanned,
+        });
     }
     let mut report = Report::default();
-    for (path, source) in &sources {
-        report.absorb(lint_source(path, source, FileContext::strictest()));
+    for e in &entries {
+        report.absorb(lint_scanned(&e.rel, &e.source, &e.scanned, e.ctx));
     }
-    let violations = local_phase_violations(&sources);
-    absorb_cross_file(&mut report, violations, &sources);
+    let views: Vec<(PathBuf, String)> = entries
+        .iter()
+        .map(|e| (e.rel.clone(), model::code_view(&e.scanned)))
+        .collect();
+    let m = model::Model::from_views(&views);
+    absorb_cross_file(&mut report, local_phase_from_model(&m), &entries);
     Ok(report)
 }
 

@@ -6,21 +6,32 @@
 //!   hygiene lint suite. With no paths, lints the whole workspace with
 //!   per-crate rule coverage; explicit paths are linted under the
 //!   strictest profile. Exits non-zero when findings survive.
+//! * `cargo xtask analyze [--format json] [--explain <rule>] [paths...]`
+//!   — the call-graph effect-analysis engine: proves the two-phase
+//!   discipline (`local-phase-purity`, `commit-only-mutation`,
+//!   `lock-order`, `float-accum-order`) over the simulation crates.
+//!   With no paths, analyzes the workspace's analysis universe; explicit
+//!   paths form one call-graph universe. Exits non-zero on error-severity
+//!   findings; warnings are advisory.
 //! * `cargo xtask ci` — the offline CI driver: release build, the test
 //!   suite twice (`SIM_THREADS=1` and `SIM_THREADS=max`, exercising both
 //!   the serial and parallel engine stepping paths), the
 //!   `validate`-feature test suite under the thread pool, the lint pass,
-//!   a `sim-report` artifact smoke test, and a formatting check (skipped
-//!   with a warning when rustfmt is absent).
+//!   the effect-analysis pass (its JSON report lands in
+//!   `target/analyze-report.json`), a `sim-report` artifact smoke test,
+//!   and a formatting check (skipped with a warning when rustfmt is
+//!   absent).
 
 use std::env;
 use std::path::PathBuf;
 use std::process::{exit, Command};
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("ci") => cmd_ci(),
         Some(other) => {
             eprintln!("error: unknown subcommand `{other}`");
@@ -35,7 +46,8 @@ fn main() {
     exit(code);
 }
 
-const USAGE: &str = "usage: cargo xtask <lint [paths...] | ci>";
+const USAGE: &str =
+    "usage: cargo xtask <lint [paths...] | analyze [--format json] [--explain <rule>] [paths...] | ci>";
 
 /// The workspace root, two levels above this crate's manifest.
 fn workspace_root() -> PathBuf {
@@ -81,6 +93,110 @@ fn cmd_lint(paths: &[String]) -> i32 {
         report.suppressed.len()
     );
     i32::from(!report.is_clean())
+}
+
+/// Prints an [`xtask::AnalysisReport`] in the human format and returns
+/// the exit code (non-zero when error-severity findings survive).
+fn print_analysis(report: &xtask::AnalysisReport) -> i32 {
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if !report.suppressed.is_empty() {
+        println!("suppressed ({}):", report.suppressed.len());
+        for s in &report.suppressed {
+            println!(
+                "  {}:{}: [{}] allowed -- {}",
+                s.file.display(),
+                s.line,
+                s.rule,
+                s.reason
+            );
+        }
+    }
+    println!(
+        "analyze: {} file(s), {} error(s), {} warning(s), {} suppressed",
+        report.files_scanned,
+        report.errors(),
+        report.warnings(),
+        report.suppressed.len()
+    );
+    i32::from(!report.is_clean())
+}
+
+fn cmd_analyze(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut explain: Option<String> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("human") => json = false,
+                other => {
+                    eprintln!(
+                        "error: --format needs `json` or `human`, got {:?}",
+                        other.unwrap_or("<missing>")
+                    );
+                    return 2;
+                }
+            },
+            "--explain" => match it.next() {
+                Some(rule) => explain = Some(rule.clone()),
+                None => {
+                    eprintln!("error: --explain needs a rule name");
+                    return 2;
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag `{other}`");
+                eprintln!("{USAGE}");
+                return 2;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    if let Some(rule) = explain {
+        return match xtask::explain(&rule) {
+            Some(text) => {
+                println!("{text}");
+                0
+            }
+            None => {
+                eprintln!("error: unknown rule `{rule}`");
+                eprintln!(
+                    "known rules: {}",
+                    xtask::ANALYZE_RULES
+                        .iter()
+                        .chain(xtask::RULES)
+                        .copied()
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                2
+            }
+        };
+    }
+
+    let report = if paths.is_empty() {
+        xtask::analyze_workspace(&workspace_root())
+    } else {
+        xtask::analyze_paths(&paths)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("error: analyze walk failed: {err}");
+            return 2;
+        }
+    };
+    if json {
+        println!("{}", report.to_json());
+        i32::from(!report.is_clean())
+    } else {
+        print_analysis(&report)
+    }
 }
 
 /// Runs one cargo step, streaming its output; returns success.
@@ -142,9 +258,49 @@ fn cmd_ci() -> i32 {
     }
 
     println!("==> lint: workspace scan");
+    let lint_started = Instant::now();
     if cmd_lint(&[]) != 0 {
         eprintln!("==> lint failed");
         return 1;
+    }
+    println!(
+        "==> lint: pass completed in {:.3}s (single-scan walk)",
+        lint_started.elapsed().as_secs_f64()
+    );
+
+    // Effect-analysis smoke: run the analyzer in-process, gate on
+    // error-severity findings, and leave the machine-readable report
+    // where the CI workflow can pick it up as an artifact.
+    println!("==> analyze: effect analysis");
+    let analyze_started = Instant::now();
+    match xtask::analyze_workspace(&workspace_root()) {
+        Ok(report) => {
+            let json_path = workspace_root().join("target").join("analyze-report.json");
+            if let Some(dir) = json_path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            if let Err(err) = std::fs::write(&json_path, report.to_json()) {
+                eprintln!(
+                    "==> analyze: could not write {}: {err}",
+                    json_path.display()
+                );
+                return 1;
+            }
+            let code = print_analysis(&report);
+            println!(
+                "==> analyze: pass completed in {:.3}s, report at {}",
+                analyze_started.elapsed().as_secs_f64(),
+                json_path.display()
+            );
+            if code != 0 {
+                eprintln!("==> analyze failed");
+                return 1;
+            }
+        }
+        Err(err) => {
+            eprintln!("==> analyze failed to run: {err}");
+            return 1;
+        }
     }
 
     // Offline observability smoke test: run sim-report on a small

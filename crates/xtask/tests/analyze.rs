@@ -1,0 +1,245 @@
+//! The effect-analysis fixtures: every analyze rule must fire exactly
+//! where the `//~` markers say it does, the escape hatch must suppress,
+//! the shipped workspace must come back clean, and — the point of the
+//! whole engine — a mutation injected into a transitively-reached
+//! local-phase helper must be caught even though the old
+//! signature-walking lint cannot see it.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn analyze_fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("analyze")
+}
+
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir
+}
+
+/// `(rule, 1-indexed line)` pairs declared by `//~ <rule>` markers.
+fn expected_markers(source: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        if let Some(pos) = line.find("//~") {
+            let rule = line[pos + 3..].trim().to_string();
+            assert!(!rule.is_empty(), "empty //~ marker on line {}", idx + 1);
+            out.push((rule, idx + 1));
+        }
+    }
+    out.sort();
+    out
+}
+
+fn fixture_paths() -> Vec<PathBuf> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(analyze_fixtures_dir())
+        .expect("analyze fixtures directory exists")
+        .map(|e| e.expect("readable fixture entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    entries
+}
+
+#[test]
+fn every_analyze_fixture_fires_exactly_its_markers() {
+    let entries = fixture_paths();
+    assert!(
+        entries.len() >= 5,
+        "expected a fixture per analyze rule plus the clean miniature, got {entries:?}"
+    );
+    for path in entries {
+        let source = fs::read_to_string(&path).expect("fixture is readable");
+        let expected = expected_markers(&source);
+        let report = xtask::analyze_paths(std::slice::from_ref(&path)).expect("analyze runs");
+        let mut actual: Vec<(String, usize)> = report
+            .findings
+            .iter()
+            .map(|f| (f.rule.to_string(), f.line))
+            .collect();
+        actual.sort();
+        assert_eq!(
+            actual,
+            expected,
+            "findings must match //~ markers in {}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn every_analyze_rule_has_a_firing_fixture() {
+    let mut fired: Vec<String> = Vec::new();
+    for path in fixture_paths() {
+        let report = xtask::analyze_paths(std::slice::from_ref(&path)).expect("analyze runs");
+        fired.extend(report.findings.iter().map(|f| f.rule.to_string()));
+    }
+    for rule in xtask::ANALYZE_RULES {
+        assert!(
+            fired.iter().any(|r| r == rule),
+            "rule `{rule}` never fires on the analyze fixture corpus"
+        );
+    }
+}
+
+#[test]
+fn allow_directive_suppresses_analyze_findings() {
+    let path = analyze_fixtures_dir().join("purity.rs");
+    let report = xtask::analyze_paths(std::slice::from_ref(&path)).expect("analyze runs");
+    assert_eq!(report.suppressed.len(), 1, "{:?}", report.suppressed);
+    assert_eq!(report.suppressed[0].rule, "local-phase-purity");
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.function.contains("blessed")),
+        "the allow-annotated fn must not be reported: {:?}",
+        report.findings
+    );
+}
+
+/// The acceptance mutation: inject an interior-mutability write into
+/// `Sm::classify`, a helper the local phase only reaches transitively
+/// through a method call. No signature changes, so the old
+/// `no-shared-mut-in-local-phase` lint (which walks signatures for
+/// `&mut MemSystem`/`&mut Gwde` parameters) stays silent — and
+/// `local-phase-purity` must still catch it through effect inference.
+#[test]
+fn mutation_interior_write_is_caught_where_the_old_lint_is_blind() {
+    let path = analyze_fixtures_dir().join("purity_clean.rs");
+    let pristine = fs::read_to_string(&path).expect("fixture is readable");
+    assert!(
+        pristine.contains("// MUTATION-POINT"),
+        "purity_clean.rs must keep its MUTATION-POINT anchor"
+    );
+
+    let mutated = pristine.replace("// MUTATION-POINT", "GLOBAL_TALLY.lock().push(self.score);");
+    let sources = vec![(PathBuf::from("purity_clean.rs"), mutated.clone())];
+
+    // The old signature walk sees nothing: no reachable fn gained a
+    // `&mut MemSystem` / `&mut Gwde` parameter.
+    assert!(
+        xtask::local_phase_violations(&sources).is_empty(),
+        "the mutation must be invisible to the signature-based lint"
+    );
+
+    // The effect engine sees the `.lock(` acquire inside `classify`.
+    let report = xtask::analyze_sources(&sources);
+    let hit = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "local-phase-purity" && f.function == "Sm::classify")
+        .unwrap_or_else(|| {
+            panic!(
+                "local-phase-purity must flag Sm::classify: {:?}",
+                report.findings
+            )
+        });
+    assert!(
+        hit.message.contains("InteriorMut"),
+        "the finding must name the inferred effect: {}",
+        hit.message
+    );
+
+    // And the pristine fixture stays clean, so the signal is the
+    // mutation, not the fixture.
+    let clean = xtask::analyze_sources(&[(PathBuf::from("purity_clean.rs"), pristine)]);
+    assert!(clean.is_clean(), "{:?}", clean.findings);
+    assert!(clean.findings.is_empty(), "{:?}", clean.findings);
+}
+
+/// The same mutation point, this time growing a shared-write helper:
+/// both the old lint and the effect engine must flag it, anchored at
+/// the helper's definition.
+#[test]
+fn mutation_shared_write_helper_is_caught_by_both_passes() {
+    let path = analyze_fixtures_dir().join("purity_clean.rs");
+    let pristine = fs::read_to_string(&path).expect("fixture is readable");
+    let mut mutated = pristine.replace("// MUTATION-POINT", "stash(now, mem);");
+    mutated.push_str("\nfn stash(_now: u64, _mem: &mut MemSystem) {}\n");
+    let sources = vec![(PathBuf::from("purity_clean.rs"), mutated)];
+
+    let old = xtask::local_phase_violations(&sources);
+    assert!(
+        old.iter().any(|f| f.message.contains("stash")),
+        "the signature lint should also see this one: {old:?}"
+    );
+    let report = xtask::analyze_sources(&sources);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "local-phase-purity" && f.function == "stash"),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn shipped_workspace_is_analyze_clean() {
+    let report = xtask::analyze_workspace(&workspace_root()).expect("analyze runs");
+    let mut message = String::new();
+    for finding in &report.findings {
+        message.push_str(&format!("\n  {finding}"));
+    }
+    assert!(
+        report.is_clean(),
+        "the shipped tree must pass `cargo xtask analyze`:{message}"
+    );
+    assert!(
+        report.files_scanned > 30,
+        "analysis universe looks truncated: {} files",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn every_rule_lint_and_analyze_has_an_explanation() {
+    for rule in xtask::ANALYZE_RULES.iter().chain(xtask::RULES) {
+        let text =
+            xtask::explain(rule).unwrap_or_else(|| panic!("rule `{rule}` has no --explain entry"));
+        assert!(
+            text.contains(rule),
+            "the explanation for `{rule}` should name the rule"
+        );
+    }
+    assert!(xtask::explain("no-such-rule").is_none());
+}
+
+#[test]
+fn json_report_is_well_formed_and_complete() {
+    let path = analyze_fixtures_dir().join("lock_order.rs");
+    let report = xtask::analyze_paths(std::slice::from_ref(&path)).expect("analyze runs");
+    let json = report.to_json();
+    for finding in &report.findings {
+        assert!(
+            json.contains(&format!("\"line\":{}", finding.line)),
+            "finding line {} missing from JSON: {json}",
+            finding.line
+        );
+    }
+    assert!(json.contains("\"rule\":\"lock-order\""));
+    assert!(json.contains("\"files_scanned\":1"));
+    // Balanced braces/brackets outside strings — a cheap well-formedness
+    // probe that catches unescaped quotes in messages.
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut esc = false;
+    for c in json.chars() {
+        match c {
+            _ if esc => esc = false,
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0, "unbalanced JSON: {json}");
+    }
+    assert_eq!(depth, 0, "unbalanced JSON: {json}");
+    assert!(!in_str, "unterminated string in JSON: {json}");
+}

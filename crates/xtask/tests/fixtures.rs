@@ -32,11 +32,16 @@ fn expected_markers(source: &str) -> Vec<(String, usize)> {
 
 /// Collects fixture `.rs` files recursively — the corpus mirrors the
 /// workspace's nested module-directory layout (e.g. `crates/sim/src/sm/`),
-/// so fixtures live in subdirectories too.
+/// so fixtures live in subdirectories too. The `analyze/` subtree is the
+/// effect-analysis corpus with its own marker protocol (see
+/// `tests/analyze.rs`) and is excluded from the lint sweep.
 fn collect_fixtures(dir: &PathBuf, out: &mut Vec<PathBuf>) {
     for entry in fs::read_dir(dir).expect("fixtures directory exists") {
         let path = entry.expect("readable fixture entry").path();
         if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "analyze") {
+                continue;
+            }
             collect_fixtures(&path, out);
         } else if path.extension().is_some_and(|e| e == "rs") {
             out.push(path);

@@ -84,7 +84,7 @@ fn main() {
         .unwrap_or(1);
     let wide = GpuConfig::gtx480(); // 15 SMs
     println!("\n=== parallel stepping (15 SMs, {threads} threads) ===");
-    for name in ["mri-q", "mmer"] {
+    for name in ["mri-q", "mmer", "cfd-2"] {
         let kernel = kernel_by_name(name).expect("catalog kernel");
         let run = |label: &str, threads: usize| {
             let opts = SimOptions {
@@ -112,6 +112,31 @@ fn main() {
         );
         results.push(serial);
         results.push(parallel);
+    }
+
+    // Thread-count scaling curve on one kernel: how wall time moves as
+    // the partition count grows past the core count. On a wide host the
+    // curve bottoms out near the core count; on a single-core host it
+    // rises monotonically and measures pure pool overhead.
+    println!("\n=== thread sweep (15 SMs, mri-q) ===");
+    let kernel = kernel_by_name("mri-q").expect("catalog kernel");
+    for t in [1usize, 2, 4, 8, 15] {
+        let opts = SimOptions {
+            threads: t,
+            ..SimOptions::default()
+        };
+        let r = bench(&format!("sweep/mri-q-t{t}"), sim_opts, || {
+            let stats = simulate_with(
+                black_box(&wide),
+                black_box(&kernel),
+                &mut StaticGovernor,
+                opts,
+            )
+            .expect("simulation");
+            black_box(stats.instructions())
+        });
+        println!("{r}");
+        results.push(r);
     }
 
     println!("\n=== decision cost ===");

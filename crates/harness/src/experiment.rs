@@ -108,10 +108,14 @@ pub struct Runner {
 ///
 /// `SIM_THREADS=max` means all available cores, a number means that many
 /// threads, and anything else (including an unset variable) means serial.
-/// Thread count never changes results — the engine's two-phase cycle is
+/// Each thread becomes one fixed SM partition of the engine's lock-free
+/// worker pool (the count is clamped to the SM count downstream). Thread
+/// count never changes results — the partitioned two-phase cycle is
 /// bit-identical at any setting — so this is purely a wall-clock knob,
 /// which is why an env var (rather than config plumbing through every
-/// call site) is acceptable here.
+/// call site) is acceptable here. Use `max` on multi-core hosts; on a
+/// single-core host extra partitions only add dispatch overhead (see the
+/// `sweep/mri-q-t*` rows in `BENCH_sim.json`).
 pub fn sim_threads_from_env() -> usize {
     match std::env::var("SIM_THREADS") {
         Ok(v) if v == "max" => std::thread::available_parallelism()

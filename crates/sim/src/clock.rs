@@ -78,6 +78,13 @@ impl DomainClock {
         cycles * self.period_fs()
     }
 
+    /// Whether a VF transition is pending (requested but not yet
+    /// applied). While one is pending the domain's period may change at
+    /// any tick, so multi-tick batching windows must not be opened.
+    pub fn has_pending_transition(&self) -> bool {
+        self.pending.is_some()
+    }
+
     /// Requests a transition to `target`, applying at `apply_at`.
     ///
     /// A later request supersedes any pending one. Requesting the current

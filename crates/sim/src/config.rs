@@ -173,7 +173,10 @@ pub struct GpuConfig {
     pub sm_clock: ClockConfig,
     /// Memory system clock domain (NoC + L2 + MC + DRAM).
     pub mem_clock: ClockConfig,
-    /// Length of a runtime-system epoch, in SM cycles.
+    /// Length of a runtime-system epoch, in SM cycles. Also bounds the
+    /// engine's batched tick windows: a window never crosses an epoch
+    /// boundary, so the boundary's sampling and governor hand-off happen
+    /// on exactly the same tick as in per-tick stepping.
     pub epoch_cycles: u64,
     /// Interval between warp-state samples within an epoch, in SM cycles.
     pub sample_interval: u64,
@@ -191,7 +194,9 @@ pub struct GpuConfig {
     /// that per-SM VRMs remove the inefficiency when SMs disagree
     /// (§V-A1); this switch implements that variant. Epoch boundaries are
     /// then defined in wall time (4096 nominal SM cycles) since the SM
-    /// clocks may drift apart.
+    /// clocks may drift apart. Drifted per-SM clocks also disable tick
+    /// batching ([`crate::gpu::SimOptions::max_batch_ticks`]), which
+    /// requires one shared SM tick sequence.
     pub per_sm_vrm: bool,
     /// Initial VF level of the SM domain.
     pub initial_sm_level: VfLevel,

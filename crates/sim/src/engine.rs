@@ -25,12 +25,25 @@
 //! *local* phase ([`Sm::cycle_local`]) that touches only per-SM state and
 //! a serial *commit* phase ([`Sm::commit`]) executed in the rotated
 //! service order, where interconnect arbitration, back-pressure and GWDE
-//! dispatch are resolved. Only the local phase runs on the worker pool,
-//! so every [`SimOptions::threads`] value yields bit-identical results —
-//! `tests/parallel_determinism.rs` pins that property.
+//! dispatch are resolved. The SMs live in fixed per-worker partitions
+//! owned by the [`SmPool`] (no locks anywhere on the hot path — dispatch
+//! is an atomic epoch-counter hand-off), only the local phase runs on
+//! the workers, and the partition of an SM is a pure function of its
+//! index — so every [`SimOptions::threads`] value yields bit-identical
+//! results; `tests/parallel_determinism.rs` pins that property.
+//!
+//! On top of the per-tick schedule the engine *batches* SM ticks: when
+//! it can prove that a window of `w` cycles contains no cross-SM
+//! interaction — every SM and the memory system quiescent, no VF
+//! transition pending, and every schedulable warp at least `w`
+//! instructions away from its next memory access or from program
+//! completion — it dispatches the whole window in one pool hand-off and
+//! replays the clocks afterwards. In-window commits degenerate to pure
+//! per-SM statistics ([`Sm::account_cycle`]), so the window is exactly
+//! equivalent to `w` per-tick steps (see [`Engine::batched_ticks`] and
+//! the tick-batching test in `tests/parallel_determinism.rs`).
 
 use std::fmt;
-use std::sync::{Arc, Mutex};
 
 use crate::clock::DomainClock;
 use crate::config::{Femtos, GpuConfig, VfLevel};
@@ -40,7 +53,7 @@ use crate::gpu::{SimError, SimOptions};
 use crate::gwde::Gwde;
 use crate::kernel::KernelSpec;
 use crate::memsys::{MemLevelStats, MemSystem};
-use crate::pool::{lock_sm, Assignment, SmPool};
+use crate::pool::{Assignment, SmPool};
 use crate::sm::{Sm, SmLevelEvents};
 use crate::stats::{EpochRecord, InvocationStats, RunStats};
 
@@ -295,15 +308,15 @@ pub struct Engine<'o> {
     kernel: KernelSpec,
     options: SimOptions,
 
-    // The machine. SMs live in shared cells so the local phase of the
-    // two-phase cycle can run on the worker pool; every serial access
-    // goes through an uncontended `lock_sm`.
+    // The machine. The SMs live inside the pool's fixed partitions (one
+    // per worker plus one for the engine thread); the engine reaches
+    // them through `SmPool::sm_ref`/`sm_mut`, which are plain borrows —
+    // no lock is taken anywhere on the stepping path.
     sm_clocks: Vec<DomainClock>,
     mem_clock: DomainClock,
-    sms: Arc<Vec<Mutex<Sm>>>,
+    pool: SmPool,
     mem: MemSystem,
     gwde: Gwde,
-    pool: Option<SmPool>,
 
     // Epoch bookkeeping. With per-SM VRMs the SM clocks drift apart, so
     // epochs are delimited in wall time (the paper's 4096 cycles at the
@@ -316,6 +329,7 @@ pub struct Engine<'o> {
 
     // Run cursor.
     sm_steps: u64,
+    batched_ticks: u64,
     now: Femtos,
     single_sm: bool,
     inv_idx: usize,
@@ -369,18 +383,13 @@ impl<'o> Engine<'o> {
             .map(|_| DomainClock::new(config.sm_clock, config.initial_sm_level))
             .collect();
         let mem_clock = DomainClock::new(config.mem_clock, config.initial_mem_level);
-        let sms: Arc<Vec<Mutex<Sm>>> = Arc::new(
-            (0..config.num_sms)
-                .map(|i| Mutex::new(Sm::new(i, config)))
-                .collect(),
-        );
+        let sms: Vec<Sm> = (0..config.num_sms).map(|i| Sm::new(i, config)).collect();
         // Clamp the thread knob: more threads than SMs cannot help, and
-        // 0/1 both mean serial. The pool only exists above 1, so serial
-        // and single-SM runs never spawn a thread.
+        // 0/1 both mean serial. The engine thread always services one
+        // partition itself, so `threads` counts it: serial and single-SM
+        // runs never spawn a worker.
         let threads = options.threads.clamp(1, config.num_sms);
-        let pool = (threads > 1)
-            .then(|| SmPool::new(threads - 1, &sms))
-            .flatten();
+        let pool = SmPool::new(sms, threads - 1);
         let mem = MemSystem::new(config);
         let nominal_sm_period = config.sm_clock.period_fs(VfLevel::Nominal);
         let epoch_span_fs = config.epoch_cycles * nominal_sm_period;
@@ -391,9 +400,8 @@ impl<'o> Engine<'o> {
             options,
             sm_clocks,
             mem_clock,
-            sms,
-            mem,
             pool,
+            mem,
             gwde: Gwde::new(0),
             nominal_sm_period,
             epoch_span_fs,
@@ -401,6 +409,7 @@ impl<'o> Engine<'o> {
             last_epoch_cycle: 0,
             next_epoch_fs: epoch_span_fs,
             sm_steps: 0,
+            batched_ticks: 0,
             now: 0,
             inv_idx: 0,
             inv_start_cycles: 0,
@@ -462,7 +471,18 @@ impl<'o> Engine<'o> {
 
     /// Number of SMs in the machine.
     pub fn num_sms(&self) -> usize {
-        self.sms.len()
+        self.pool.num_sms()
+    }
+
+    /// SM-domain ticks that were executed inside batched windows so far.
+    ///
+    /// Purely a wall-clock-optimisation diagnostic: batching never
+    /// changes simulated results (the tick-batching equivalence test in
+    /// `tests/parallel_determinism.rs` pins that), so this counter only
+    /// tells you how often the engine could prove a multi-tick window
+    /// free of cross-SM interaction.
+    pub fn batched_ticks(&self) -> u64 {
+        self.batched_ticks
     }
 
     /// Runs `f` against SM `index`, for mid-run inspection.
@@ -471,7 +491,7 @@ impl<'o> Engine<'o> {
     ///
     /// Panics when `index` is out of range.
     pub fn with_sm<R>(&self, index: usize, f: impl FnOnce(&Sm) -> R) -> R {
-        f(&lock_sm(&self.sms[index]))
+        f(self.pool.sm_ref(index))
     }
 
     /// Advances the simulation by exactly one event: an invocation setup,
@@ -580,8 +600,8 @@ impl<'o> Engine<'o> {
             invocations: self.invocations.clone(),
             ..RunStats::default()
         };
-        for cell in self.sms.iter() {
-            let sm = lock_sm(cell);
+        for i in 0..self.pool.num_sms() {
+            let sm = self.pool.sm_ref(i);
             for (agg, ev) in stats.sm_events.iter_mut().zip(sm.events().iter()) {
                 agg.issued += ev.issued;
                 agg.alu_ops += ev.alu_ops;
@@ -609,8 +629,8 @@ impl<'o> Engine<'o> {
         self.inv_start_fs = self.now;
         self.gwde = Gwde::new(grid_blocks);
         self.mem.flush_l2();
-        for cell in self.sms.iter() {
-            let mut sm = lock_sm(cell);
+        for i in 0..self.pool.num_sms() {
+            let sm = self.pool.sm_mut(i);
             sm.begin_invocation(&self.kernel, self.inv_idx, program.clone());
             sm.fill(&mut self.gwde);
         }
@@ -647,6 +667,15 @@ impl<'o> Engine<'o> {
             return Ok(StepEvent::MemCycle);
         }
 
+        // Tick batching: when the engine can prove a window of `w >= 2`
+        // SM cycles is free of cross-SM interaction, it executes the
+        // whole window in one pool dispatch instead of `w` per-tick
+        // hand-offs. See `batch_window` for the proof obligations.
+        if let Some(w) = self.try_batched_window() {
+            self.run_batched_window(w);
+            return Ok(StepEvent::SmCycle);
+        }
+
         let t = min_sm_tick;
         self.now = self.now.max(t);
         self.sm_steps += 1;
@@ -657,7 +686,7 @@ impl<'o> Engine<'o> {
         // beats against the SM:memory clock ratio and still favours a
         // subset of SMs for long stretches. A single-SM machine has only
         // one possible order, so it skips the hash entirely.
-        let n = self.sms.len();
+        let n = self.pool.num_sms();
         let start = if self.single_sm {
             0
         } else {
@@ -668,8 +697,8 @@ impl<'o> Engine<'o> {
             // Overwrite the retained snapshot in place: no per-step
             // clear()/extend churn, and nothing at all in unobserved runs.
             self.block_scratch.resize(n, 0);
-            for (slot, cell) in self.block_scratch.iter_mut().zip(self.sms.iter()) {
-                *slot = lock_sm(cell).blocks_completed();
+            for (slot, i) in self.block_scratch.iter_mut().zip(0..n) {
+                *slot = self.pool.sm_ref(i).blocks_completed();
             }
         }
 
@@ -693,38 +722,42 @@ impl<'o> Engine<'o> {
             }
         }
 
-        // The two-phase cycle. With a worker pool and more than one due
+        // The two-phase cycle. With live workers and more than one due
         // SM: pre-drain every inbox serially (the per-SM response heaps
-        // are disjoint), run the local phase in parallel, then commit in
-        // service order so interconnect arbitration, back-pressure and
-        // GWDE dispatch resolve exactly as in a serial run. The serial
-        // path fuses the three stages per SM — the same schedule, since
-        // the phases of different SMs touch disjoint state.
-        match &mut self.pool {
-            Some(pool) if due.len() > 1 => {
-                for &(i, ..) in due.iter() {
-                    let mut sm = lock_sm(&self.sms[i]);
-                    self.mem.drain_ready(i, t, sm.inbox_mut());
-                }
-                pool.run_local(t, &due, &self.sms);
-                for &(i, level, _) in due.iter() {
-                    lock_sm(&self.sms[i]).commit(level, &mut self.mem, &mut self.gwde);
-                }
+        // are disjoint), hand the local phase to the partitions in one
+        // epoch-counter dispatch, then commit in service order so
+        // interconnect arbitration, back-pressure and GWDE dispatch
+        // resolve exactly as in a serial run. The serial path fuses the
+        // three stages per SM — the same schedule, since the phases of
+        // different SMs touch disjoint state.
+        if self.pool.has_workers() && due.len() > 1 {
+            for &(i, ..) in due.iter() {
+                self.mem.drain_ready(i, t, self.pool.sm_mut(i).inbox_mut());
             }
-            _ => {
-                for &(i, level, period) in due.iter() {
-                    let mut sm = lock_sm(&self.sms[i]);
-                    self.mem.drain_ready(i, t, sm.inbox_mut());
-                    sm.cycle_local(t, level, period);
-                    sm.commit(level, &mut self.mem, &mut self.gwde);
-                }
+            if self.config.per_sm_vrm {
+                self.pool.dispatch_due(t, &due);
+            } else {
+                let (_, level, period) = due[0];
+                self.pool.dispatch_all(t, level, period, 1);
+            }
+            for &(i, level, _) in due.iter() {
+                self.pool
+                    .sm_mut(i)
+                    .commit(level, &mut self.mem, &mut self.gwde);
+            }
+        } else {
+            for &(i, level, period) in due.iter() {
+                let sm = self.pool.sm_mut(i);
+                self.mem.drain_ready(i, t, sm.inbox_mut());
+                sm.cycle_local(t, level, period);
+                sm.commit(level, &mut self.mem, &mut self.gwde);
             }
         }
         self.due = due;
 
         if track_blocks {
             for i in 0..n {
-                let completed = lock_sm(&self.sms[i]).blocks_completed() - self.block_scratch[i];
+                let completed = self.pool.sm_ref(i).blocks_completed() - self.block_scratch[i];
                 if completed > 0 {
                     let event = BlockEvent::Completed {
                         sm: i,
@@ -753,8 +786,8 @@ impl<'o> Engine<'o> {
 
         // Termination check for this invocation.
         if self.gwde.drained()
-            && self.sms.iter().all(|cell| {
-                let sm = lock_sm(cell);
+            && (0..n).all(|i| {
+                let sm = self.pool.sm_ref(i);
                 !sm.busy() && sm.quiescent()
             })
             && self.mem.quiescent()
@@ -763,8 +796,8 @@ impl<'o> Engine<'o> {
             // and pending access must be empty once an invocation
             // completes.
             #[cfg(feature = "validate")]
-            for cell in self.sms.iter() {
-                lock_sm(cell).validate_drained();
+            for i in 0..n {
+                self.pool.sm_ref(i).validate_drained();
             }
             let end_cycles = self
                 .sm_clocks
@@ -801,12 +834,101 @@ impl<'o> Engine<'o> {
                 invocation: self.inv_idx,
                 limit: self.options.max_cycles_per_invocation,
                 executed: max_cycles - self.inv_start_cycles,
-                active_blocks: self.sms.iter().map(|c| lock_sm(c).active_blocks()).sum(),
-                paused_blocks: self.sms.iter().map(|c| lock_sm(c).paused_blocks()).sum(),
-                resident_warps: self.sms.iter().map(|c| lock_sm(c).resident_warps()).sum(),
+                active_blocks: (0..n).map(|i| self.pool.sm_ref(i).active_blocks()).sum(),
+                paused_blocks: (0..n).map(|i| self.pool.sm_ref(i).paused_blocks()).sum(),
+                resident_warps: (0..n).map(|i| self.pool.sm_ref(i).resident_warps()).sum(),
             });
         }
         Ok(event)
+    }
+
+    /// Decides whether the next SM tick can open a batched window, and
+    /// how long it may run. Returns `None` unless a window of at least
+    /// two ticks is provably free of cross-SM interaction.
+    ///
+    /// The proof obligations, checked in cheapest-first order:
+    ///
+    /// - shared VRM only, and the `max_batch_ticks` knob allows windows;
+    /// - no VF transition pending on either domain (periods are frozen,
+    ///   so every in-window tick time is known up front);
+    /// - the memory system is quiescent (its per-tick `step` is then a
+    ///   pure replay: nothing can be delivered to any SM);
+    /// - the window ends strictly before the next epoch boundary and
+    ///   before the cycle-limit check could fire;
+    /// - every SM is quiescent (no staged access, queues empty) and its
+    ///   [`Sm::batch_horizon`] covers the window: each schedulable warp
+    ///   is at least `w` instructions away from its next memory access
+    ///   and from program completion. A warp issues at most one
+    ///   instruction per cycle, so nothing can reach the memory system
+    ///   or retire a block inside the window — in-window commits
+    ///   degenerate to per-SM statistics.
+    fn try_batched_window(&self) -> Option<u64> {
+        if self.config.per_sm_vrm || self.options.max_batch_ticks < 2 {
+            return None;
+        }
+        if self.sm_clocks[0].has_pending_transition() || self.mem_clock.has_pending_transition() {
+            return None;
+        }
+        if !self.mem.quiescent() {
+            return None;
+        }
+        let cycles = self.sm_clocks[0].cycles();
+        // Stay strictly inside the epoch: the boundary tick itself must
+        // run per-tick so the governor is consulted on schedule.
+        let epoch_cap =
+            (self.config.epoch_cycles - 1).saturating_sub(cycles - self.last_epoch_cycle);
+        // Never run past the point where the cycle-limit check would
+        // fire; the per-tick path reports the abort on the exact tick a
+        // serial run would.
+        let limit_cap = self
+            .options
+            .max_cycles_per_invocation
+            .saturating_sub(cycles - self.inv_start_cycles);
+        let mut w = self.options.max_batch_ticks.min(epoch_cap).min(limit_cap);
+        if w < 2 {
+            return None;
+        }
+        for i in 0..self.pool.num_sms() {
+            let sm = self.pool.sm_ref(i);
+            if !sm.quiescent() {
+                return None;
+            }
+            w = w.min(sm.batch_horizon());
+            if w < 2 {
+                return None;
+            }
+        }
+        Some(w)
+    }
+
+    /// Executes a batched window of `w` SM ticks in one pool dispatch,
+    /// then replays both clocks through the window in the serial event
+    /// order (memory ticks interleaved at their exact times, ties to the
+    /// memory domain). `try_batched_window` has already proven that no
+    /// cross-SM interaction, epoch boundary, termination or abort can
+    /// occur inside the window, so commits are per-SM statistics
+    /// ([`Sm::account_cycle`], folded into the dispatch) and the machine
+    /// state afterwards is bit-identical to `w` per-tick steps.
+    fn run_batched_window(&mut self, w: u64) {
+        let level = self.sm_clocks[0].level();
+        let period = self.sm_clocks[0].period_fs();
+        let first = self.sm_clocks[0].next_tick();
+        self.pool.dispatch_all(first, level, period, w);
+        self.batched_ticks += w;
+        for _ in 0..w {
+            let t = self.sm_clocks[0].tick();
+            self.now = self.now.max(t);
+            self.sm_steps += 1;
+            // Replay any memory-domain ticks due before (or tied with)
+            // the next SM tick, exactly as the per-tick loop orders them.
+            while self.mem_clock.next_tick() <= self.sm_clocks[0].next_tick() {
+                let mt = self.mem_clock.tick();
+                self.now = self.now.max(mt);
+                let ml = self.mem_clock.level();
+                let mp = self.mem_clock.period_fs();
+                self.mem.step(mt, ml, mp);
+            }
+        }
     }
 
     fn epoch_boundary(&mut self, governor: &mut dyn Governor, t: Femtos) {
@@ -814,29 +936,26 @@ impl<'o> Engine<'o> {
         self.next_epoch_fs = t + self.epoch_span_fs;
         self.epoch_index += 1;
         let per_sm_vrm = self.config.per_sm_vrm;
-        let clocks = &self.sm_clocks;
-        let reports: Vec<SmEpochReport> = self
-            .sms
-            .iter()
-            .map(|cell| {
-                let mut sm = lock_sm(cell);
-                let clock = if per_sm_vrm {
-                    &clocks[sm.id()]
-                } else {
-                    &clocks[0]
-                };
-                SmEpochReport {
-                    sm: sm.id(),
-                    sm_level: clock.level(),
-                    counters: sm.take_epoch(),
-                    active_blocks: sm.active_blocks(),
-                    paused_blocks: sm.paused_blocks(),
-                    target_blocks: sm.target_blocks(),
-                }
-            })
-            .collect();
+        let mut reports: Vec<SmEpochReport> = Vec::with_capacity(self.pool.num_sms());
+        for i in 0..self.pool.num_sms() {
+            let clock = if per_sm_vrm {
+                &self.sm_clocks[i]
+            } else {
+                &self.sm_clocks[0]
+            };
+            let sm_level = clock.level();
+            let sm = self.pool.sm_mut(i);
+            reports.push(SmEpochReport {
+                sm: sm.id(),
+                sm_level,
+                counters: sm.take_epoch(),
+                active_blocks: sm.active_blocks(),
+                paused_blocks: sm.paused_blocks(),
+                target_blocks: sm.target_blocks(),
+            });
+        }
         let (w_cta, resident_limit) = {
-            let sm = lock_sm(&self.sms[0]);
+            let sm = self.pool.sm_ref(0);
             (sm.w_cta(), sm.resident_limit())
         };
         let ctx = EpochContext {
@@ -884,8 +1003,8 @@ impl<'o> Engine<'o> {
             sm_time_at[i] /= nc;
         }
         let mut sm_events = [SmLevelEvents::default(); 3];
-        for cell in self.sms.iter() {
-            let sm = lock_sm(cell);
+        for i in 0..self.pool.num_sms() {
+            let sm = self.pool.sm_ref(i);
             for (agg, ev) in sm_events.iter_mut().zip(sm.events().iter()) {
                 agg.issued += ev.issued;
                 agg.alu_ops += ev.alu_ops;
@@ -896,11 +1015,9 @@ impl<'o> Engine<'o> {
             }
         }
         let per_sm_vrm = self.config.per_sm_vrm;
-        let sms = self
-            .sms
-            .iter()
-            .map(|cell| {
-                let sm = lock_sm(cell);
+        let sms = (0..self.pool.num_sms())
+            .map(|i| {
+                let sm = self.pool.sm_ref(i);
                 let clock = if per_sm_vrm {
                     &self.sm_clocks[sm.id()]
                 } else {
@@ -939,17 +1056,17 @@ impl<'o> Engine<'o> {
     }
 
     fn apply_decision(&mut self, decision: &EpochDecision, now: Femtos) {
-        for (cell, target) in self.sms.iter().zip(decision.target_blocks.iter()) {
+        let n = self.pool.num_sms();
+        for (i, target) in decision.target_blocks.iter().take(n).enumerate() {
             let Some(t) = target else {
                 continue;
             };
-            let mut sm = lock_sm(cell);
+            let sm = self.pool.sm_mut(i);
             let before = sm.target_blocks();
             sm.set_target_blocks(*t);
             sm.fill(&mut self.gwde);
             let after = sm.target_blocks();
             let id = sm.id();
-            drop(sm);
             if after != before {
                 let event = BlockEvent::TargetChanged {
                     sm: id,

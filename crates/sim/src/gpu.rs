@@ -74,12 +74,25 @@ pub struct SimOptions {
     /// OS threads for the SM-domain local phase (two-phase stepping).
     ///
     /// `0` and `1` both mean serial; values above the SM count are
-    /// clamped. Results are bit-identical for every value — the local
-    /// phase only touches per-SM state and the commit phase stays serial
-    /// in the rotated service order — so this is purely a wall-clock
-    /// knob. The worker pool is only spawned when the effective value
-    /// exceeds 1.
+    /// clamped. The SMs are sharded into `threads` fixed partitions (one
+    /// serviced by the engine thread, the rest by persistent workers that
+    /// synchronise on atomic epoch counters — no locks on the hot path).
+    /// Results are bit-identical for every value — the local phase only
+    /// touches per-SM state and the commit phase stays serial in the
+    /// rotated service order — so this is purely a wall-clock knob.
+    /// Workers are only spawned when the effective value exceeds 1.
     pub threads: usize,
+    /// Upper bound on SM ticks per batched window.
+    ///
+    /// When the engine can prove a window of cycles contains no cross-SM
+    /// interaction (all SMs and the memory system quiescent, no VF
+    /// transition pending, every schedulable warp far enough from its
+    /// next memory access and from program completion), it executes the
+    /// whole window in one dispatch instead of tick by tick. Batching
+    /// never changes simulated results — `tests/parallel_determinism.rs`
+    /// pins bit-identical stats with batching on and off — so this too
+    /// is purely a wall-clock knob. Values below 2 disable batching.
+    pub max_batch_ticks: u64,
 }
 
 impl Default for SimOptions {
@@ -88,6 +101,7 @@ impl Default for SimOptions {
             max_cycles_per_invocation: 80_000_000,
             record_epochs: true,
             threads: 1,
+            max_batch_ticks: 1024,
         }
     }
 }

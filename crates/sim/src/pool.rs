@@ -1,25 +1,65 @@
-//! The persistent worker pool behind parallel SM stepping.
+//! Lock-free partitioned storage and worker pool for parallel SM
+//! stepping.
 //!
-//! [`SmPool`] owns `threads - 1` OS threads (the engine thread services
-//! its own shard) that live for the whole run and execute the *local*
-//! phase of the two-phase cycle: [`crate::sm::Sm::cycle_local`] touches
-//! only per-SM state, so the pool can run due SMs concurrently without
-//! changing any simulated outcome. Sharding is a fixed round-robin over
-//! the due list's positions — worker `w` always takes positions
-//! `w + 1, w + 1 + lanes, …` — so the assignment of SMs to threads is a
-//! pure function of the due list and can never leak scheduling
-//! nondeterminism into results. The serial commit phase stays on the
-//! engine thread.
+//! [`SmPool`] owns **all** SM state for a run — serial and parallel
+//! paths alike — split into `threads` fixed partitions: SM `i` lives in
+//! partition `i % nparts` at local index `i / nparts`. Partition 0 is
+//! serviced inline by the engine thread; partitions `1..nparts` each
+//! get a persistent worker thread that exclusively owns its shard for
+//! the duration of a dispatch. There are **no locks anywhere on the hot
+//! path**: dispatch hand-off is a single atomic epoch counter
+//! (seqlock-style generation number) published with `Release` ordering
+//! and observed with `Acquire`, and completion is one `done` counter
+//! per partition published the same way.
 //!
-//! Everything here is `std`-only: `std::thread` plus `mpsc` channels,
-//! with blocking `recv` on both sides (no spinning — the pool must
-//! behave on oversubscribed hosts). A panic inside a worker (e.g. a
-//! `validate`-feature assertion) is caught, shipped back over the done
-//! channel and re-raised on the engine thread, so sanitizer failures
-//! surface exactly as they do in serial runs.
+//! Workers wait for the next generation by spinning briefly
+//! ([`SPIN_LIMIT`] iterations of [`std::hint::spin_loop`]) and then
+//! parking, so an idle pool burns no CPU on oversubscribed hosts; the
+//! engine unparks every worker after each epoch bump, and the park
+//! token makes that race-free (a worker that parks just after the bump
+//! consumes the pending token and returns immediately).
+//!
+//! A dispatch runs one *job* per partition: the local phase of the
+//! two-phase cycle ([`Sm::cycle_local`]) for each due SM — either every
+//! owned SM at one `(level, period)` (shared-VRM machines), or a
+//! per-partition due list staged by the engine (per-SM VRMs). Batched
+//! windows (`ticks > 1`) additionally run the per-cycle statistics half
+//! of the commit ([`Sm::account_cycle`]) for each tick, which is legal
+//! exactly when the engine has proven no cross-SM interaction can occur
+//! in the window (see `Engine::try_batched_window`). Work assignment is
+//! a pure function of SM index and thread count, and the serial commit
+//! phase stays on the engine thread in the engine's own order, so no
+//! scheduling nondeterminism can leak into results.
+//!
+//! A panic inside a worker (e.g. a `validate`-feature assertion) is
+//! caught, stashed in the partition's panic slot, and re-raised on the
+//! engine thread once every partition has quiesced — sanitizer failures
+//! surface exactly as they do in serial runs, and the pool is left in a
+//! joinable state for the engine's destructor.
+//!
+//! # Safety model
+//!
+//! All `unsafe` in this crate lives in this module and follows one
+//! discipline: a partition's [`UnsafeCell`] contents are accessed by
+//! exactly one thread at a time, with the ownership hand-off ordered by
+//! an `Acquire` load observing a `Release` store.
+//!
+//! * Engine → worker: the engine writes the job descriptor and due
+//!   lists, then bumps `epoch` with `Release`. A worker only touches
+//!   its shard after observing the new generation with `Acquire`.
+//! * Worker → engine: a worker finishes its job, then publishes
+//!   `done = epoch` with `Release`. The engine only touches worker
+//!   shards (or returns from a dispatch) after observing every
+//!   partition's `done` with `Acquire`.
+//! * Between dispatches no worker touches any shard (they spin/park on
+//!   `epoch`), so the engine thread has exclusive access and the safe
+//!   accessors ([`SmPool::sm_ref`] / [`SmPool::sm_mut`]) can hand out
+//!   plain references; Rust's borrow checker on `&self` / `&mut self`
+//!   rules out aliasing on the engine side.
 
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::config::{Femtos, VfLevel};
@@ -28,126 +68,283 @@ use crate::sm::Sm;
 /// One due SM for the current tick: `(sm index, level, period_fs)`.
 pub(crate) type Assignment = (usize, VfLevel, Femtos);
 
-/// Locks an SM cell, recovering from poisoning.
-///
-/// A poisoned mutex only means a worker panicked mid-cycle; the panic
-/// payload is re-raised on the engine thread right after, so the
-/// recovered guard is never used to continue a corrupted simulation —
-/// this just avoids a panic-while-panicking cascade during unwinding.
-pub(crate) fn lock_sm(cell: &Mutex<Sm>) -> MutexGuard<'_, Sm> {
-    match cell.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    }
+/// Spin iterations before a waiting worker parks (and before the
+/// engine's completion wait downgrades to `yield_now`). Small on
+/// purpose: on oversubscribed hosts spinning steals cycles from the
+/// very workers being waited on.
+const SPIN_LIMIT: u32 = 256;
+
+/// What one dispatch asks every partition to do.
+#[derive(Clone, Copy)]
+struct JobDesc {
+    /// Completion time of the first SM tick in the window.
+    now: Femtos,
+    /// SM domain level for `all`-mode jobs.
+    level: VfLevel,
+    /// SM domain period for `all`-mode jobs.
+    period: Femtos,
+    /// SM ticks to run back-to-back (`> 1` only for proven-safe batched
+    /// windows; each tick runs `cycle_local` + `account_cycle`).
+    ticks: u64,
+    /// `true`: every owned SM is due at (`level`, `period`); `false`:
+    /// use the partition's staged due list (per-SM VRM machines).
+    all: bool,
 }
 
-enum Job {
-    /// Run the local phase for the listed SMs at tick `now`.
-    Cycle { now: Femtos, sms: Vec<Assignment> },
-    /// Shut the worker down.
-    Exit,
+/// One partition: a shard of SMs owned by exactly one thread at a time.
+struct Partition {
+    /// The owned SMs, local index `l` holding global SM `l * nparts + p`.
+    sms: UnsafeCell<Vec<Sm>>,
+    /// Staged due list for `all = false` jobs: `(local index, level,
+    /// period)` in service order. Written by the engine before the
+    /// epoch bump, read by the owning thread during the job.
+    due: UnsafeCell<Vec<(usize, VfLevel, Femtos)>>,
+    /// Panic payload caught during the last job, if any.
+    panic: UnsafeCell<Option<Box<dyn std::any::Any + Send>>>,
+    /// Generation number of the last completed job (`Release` by the
+    /// worker, `Acquire` by the engine).
+    done: AtomicU64,
 }
 
-enum Done {
-    /// The shard completed; the assignment buffer comes back for reuse.
-    Finished(Vec<Assignment>),
-    /// The shard panicked; the payload is re-raised on the engine thread.
-    Panicked(Box<dyn std::any::Any + Send>),
+/// Shared state between the engine thread and the workers.
+struct Shared {
+    /// Current job, written by the engine before each epoch bump.
+    job: UnsafeCell<JobDesc>,
+    /// Dispatch generation counter. A change (observed `Acquire`)
+    /// transfers shard ownership engine → workers; matching `done`
+    /// stores transfer it back.
+    epoch: AtomicU64,
+    /// Set (before a final epoch bump) to shut the workers down.
+    shutdown: AtomicBool,
+    parts: Vec<Partition>,
 }
 
-/// The persistent local-phase worker pool. Dropped with the engine; the
-/// destructor shuts every worker down and joins it.
+// SAFETY: the `UnsafeCell` fields are accessed under the epoch/done
+// hand-off protocol documented in the module header — one thread at a
+// time, ordered by Release/Acquire pairs — and the atomics are Sync by
+// construction.
+unsafe impl Sync for Shared {}
+
+/// Partitioned owner of every SM plus the persistent worker threads.
+/// Dropped with the engine; the destructor shuts every worker down and
+/// joins it.
 pub(crate) struct SmPool {
-    job_txs: Vec<Sender<Job>>,
-    done_rx: Receiver<Done>,
+    shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
-    /// Recycled assignment buffers, so steady-state ticks allocate
-    /// nothing.
-    spare: Vec<Vec<Assignment>>,
+    /// `live[p]` is true when partition `p` has a running worker;
+    /// partition 0 never does (the engine services it), and a failed
+    /// spawn leaves later partitions engine-serviced too.
+    live: Vec<bool>,
+    /// Engine-side copy of the current generation number.
+    epoch: u64,
+    nparts: usize,
+    num_sms: usize,
 }
 
 impl SmPool {
-    /// Spawns `workers` threads over the shared SM cells. Returns `None`
-    /// when no worker could be spawned (the engine then falls back to
-    /// the serial path); a partial spawn degrades to fewer workers.
-    pub(crate) fn new(workers: usize, cells: &Arc<Vec<Mutex<Sm>>>) -> Option<Self> {
-        if workers == 0 {
-            return None;
+    /// Takes ownership of `sms` and spawns up to `workers` threads.
+    ///
+    /// `workers == 0` builds a purely serial pool (one partition, no
+    /// threads). A failed spawn degrades gracefully: the partition is
+    /// marked dead and the engine services it inline during dispatch,
+    /// so results never depend on how many threads actually started.
+    pub(crate) fn new(sms: Vec<Sm>, workers: usize) -> Self {
+        let num_sms = sms.len();
+        let nparts = workers + 1;
+        let mut shards: Vec<Vec<Sm>> = (0..nparts).map(|_| Vec::new()).collect();
+        for (i, sm) in sms.into_iter().enumerate() {
+            shards[i % nparts].push(sm);
         }
-        let (done_tx, done_rx) = mpsc::channel();
-        let mut job_txs = Vec::with_capacity(workers);
+        let parts: Vec<Partition> = shards
+            .into_iter()
+            .map(|shard| Partition {
+                sms: UnsafeCell::new(shard),
+                due: UnsafeCell::new(Vec::new()),
+                panic: UnsafeCell::new(None),
+                done: AtomicU64::new(0),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            job: UnsafeCell::new(JobDesc {
+                now: 0,
+                level: VfLevel::Nominal,
+                period: 1,
+                ticks: 1,
+                all: true,
+            }),
+            epoch: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            parts,
+        });
+        let mut live = vec![false; nparts];
         let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let (tx, rx) = mpsc::channel::<Job>();
-            let cells = Arc::clone(cells);
-            let done = done_tx.clone();
-            let builder = std::thread::Builder::new().name(format!("sm-worker-{w}"));
-            match builder.spawn(move || worker_loop(&rx, &cells, &done)) {
+        for (p, alive) in live.iter_mut().enumerate().skip(1) {
+            let shared = Arc::clone(&shared);
+            let builder = std::thread::Builder::new().name(format!("sm-worker-{p}"));
+            match builder.spawn(move || worker_loop(&shared, p)) {
                 Ok(handle) => {
-                    job_txs.push(tx);
+                    *alive = true;
                     handles.push(handle);
                 }
                 Err(_) => break,
             }
         }
-        if handles.is_empty() {
-            return None;
-        }
-        Some(Self {
-            job_txs,
-            done_rx,
+        Self {
+            shared,
             handles,
-            spare: Vec::new(),
-        })
+            live,
+            epoch: 0,
+            nparts,
+            num_sms,
+        }
     }
 
-    /// Runs the local phase for every assignment in `due`, fanning the
-    /// list round-robin across the workers while the engine thread
-    /// services its own shard. Blocks until every shard is done, so the
-    /// caller can start the serial commit phase immediately after.
-    pub(crate) fn run_local(&mut self, now: Femtos, due: &[Assignment], cells: &[Mutex<Sm>]) {
-        let lanes = self.job_txs.len() + 1;
-        let mut outstanding = 0usize;
-        for (w, tx) in self.job_txs.iter().enumerate() {
-            let mut buf = self.spare.pop().unwrap_or_default();
-            buf.clear();
-            buf.extend(due.iter().skip(w + 1).step_by(lanes).copied());
-            if buf.is_empty() {
-                self.spare.push(buf);
+    /// Number of SMs owned by the pool.
+    pub(crate) fn num_sms(&self) -> usize {
+        self.num_sms
+    }
+
+    /// Whether any worker thread is running (i.e. dispatch actually
+    /// fans out instead of degenerating to the inline loop).
+    pub(crate) fn has_workers(&self) -> bool {
+        !self.handles.is_empty()
+    }
+
+    /// Shared reference to SM `id`.
+    ///
+    /// Sound because no dispatch is in flight between calls into the
+    /// pool: every dispatch blocks until all partitions publish
+    /// completion before returning, so the engine thread is the sole
+    /// accessor here and `&self` borrows prevent engine-side aliasing
+    /// with [`Self::sm_mut`].
+    pub(crate) fn sm_ref(&self, id: usize) -> &Sm {
+        let part = &self.shared.parts[id % self.nparts];
+        // SAFETY: exclusive engine-thread access outside dispatch (see
+        // the module header); the `done == epoch` Acquire observed at
+        // the end of the last dispatch ordered all worker writes before
+        // this read.
+        unsafe { &(&*part.sms.get())[id / self.nparts] }
+    }
+
+    /// Mutable reference to SM `id`; see [`Self::sm_ref`] for why this
+    /// is sound.
+    pub(crate) fn sm_mut(&mut self, id: usize) -> &mut Sm {
+        let part = &self.shared.parts[id % self.nparts];
+        // SAFETY: as in `sm_ref`, plus `&mut self` rules out any other
+        // engine-side borrow of the pool.
+        unsafe { &mut (&mut *part.sms.get())[id / self.nparts] }
+    }
+
+    /// Runs the local phase on every SM for `ticks` back-to-back SM
+    /// cycles starting at time `now` (shared-VRM machines: one level
+    /// and period for all). `ticks > 1` is a batched window: each tick
+    /// also runs the per-cycle statistics half of the commit, which the
+    /// caller must have proven safe (no cross-SM interaction possible
+    /// in the window). Blocks until every partition is done; worker
+    /// panics are re-raised here.
+    pub(crate) fn dispatch_all(&mut self, now: Femtos, level: VfLevel, period: Femtos, ticks: u64) {
+        let job = JobDesc {
+            now,
+            level,
+            period,
+            ticks,
+            all: true,
+        };
+        self.dispatch(job);
+    }
+
+    /// Runs the local phase for exactly the SMs in `due` (global
+    /// indices with per-SM levels/periods, as on per-SM-VRM machines)
+    /// at time `now`. Blocks until every partition is done; worker
+    /// panics are re-raised here.
+    pub(crate) fn dispatch_due(&mut self, now: Femtos, due: &[Assignment]) {
+        let nparts = self.nparts;
+        for p in 0..nparts {
+            // SAFETY: no dispatch in flight; engine-exclusive access.
+            unsafe { (*self.shared.parts[p].due.get()).clear() };
+        }
+        for &(i, level, period) in due {
+            let part = &self.shared.parts[i % nparts];
+            // SAFETY: as above — these writes are published to the
+            // worker by the Release epoch bump in `dispatch`.
+            unsafe { (*part.due.get()).push((i / nparts, level, period)) };
+        }
+        let job = JobDesc {
+            now,
+            level: VfLevel::Nominal,
+            period: 1,
+            ticks: 1,
+            all: false,
+        };
+        self.dispatch(job);
+    }
+
+    /// Publishes `job`, services partition 0 (and any dead partitions)
+    /// inline, waits for the workers and forwards any panic.
+    fn dispatch(&mut self, job: JobDesc) {
+        if !self.has_workers() {
+            // Serial pool (or every spawn failed): run everything
+            // inline with no atomics at all.
+            for part in &self.shared.parts {
+                // SAFETY: no worker threads exist, so the engine thread
+                // owns every shard unconditionally.
+                unsafe { run_job(&job, &mut *part.sms.get(), &*part.due.get()) };
+            }
+            return;
+        }
+        // SAFETY: all workers are quiescent (previous dispatch fully
+        // completed), so the engine owns the job cell; the Release
+        // store below publishes this write.
+        unsafe { *self.shared.job.get() = job };
+        self.epoch += 1;
+        self.shared.epoch.store(self.epoch, Ordering::Release);
+        for handle in &self.handles {
+            handle.thread().unpark();
+        }
+        // Engine thread's own shard, plus any partition whose worker
+        // failed to spawn.
+        for (p, part) in self.shared.parts.iter().enumerate() {
+            if !self.live[p] {
+                // SAFETY: dead partitions are never touched by any
+                // worker; the engine owns them unconditionally.
+                unsafe { run_job(&job, &mut *part.sms.get(), &*part.due.get()) };
+            }
+        }
+        // Wait for every live partition to publish this generation.
+        for (p, part) in self.shared.parts.iter().enumerate() {
+            if !self.live[p] {
                 continue;
             }
-            if tx.send(Job::Cycle { now, sms: buf }).is_ok() {
-                outstanding += 1;
-            }
-        }
-        // Engine thread's shard: positions 0, lanes, 2*lanes, …
-        for &(i, level, period) in due.iter().step_by(lanes) {
-            lock_sm(&cells[i]).cycle_local(now, level, period);
-        }
-        let mut panic_payload = None;
-        for _ in 0..outstanding {
-            match self.done_rx.recv() {
-                Ok(Done::Finished(mut buf)) => {
-                    buf.clear();
-                    self.spare.push(buf);
+            let mut spins = 0u32;
+            while part.done.load(Ordering::Acquire) != self.epoch {
+                if spins < SPIN_LIMIT {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
                 }
-                Ok(Done::Panicked(payload)) => panic_payload = Some(payload),
-                // Every live worker sends exactly one Done per job (even
-                // on panic, via catch_unwind), so a closed channel means
-                // the workers are gone; nothing more will arrive.
-                Err(_) => break,
             }
         }
-        if let Some(payload) = panic_payload {
-            std::panic::resume_unwind(payload);
+        // All shards are back under engine ownership; forward the first
+        // stashed panic (after the full wait, so no worker is still
+        // running when the engine unwinds).
+        for part in &self.shared.parts {
+            // SAFETY: engine-exclusive access re-established above.
+            let stashed = unsafe { (*part.panic.get()).take() };
+            if let Some(payload) = stashed {
+                std::panic::resume_unwind(payload);
+            }
         }
     }
 }
 
 impl Drop for SmPool {
     fn drop(&mut self) {
-        for tx in &self.job_txs {
-            let _ = tx.send(Job::Exit);
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.epoch += 1;
+        self.shared.epoch.store(self.epoch, Ordering::Release);
+        for handle in &self.handles {
+            handle.thread().unpark();
         }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -159,23 +356,136 @@ impl std::fmt::Debug for SmPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SmPool")
             .field("workers", &self.handles.len())
+            .field("partitions", &self.nparts)
+            .field("num_sms", &self.num_sms)
             .finish_non_exhaustive()
     }
 }
 
-fn worker_loop(jobs: &Receiver<Job>, cells: &Arc<Vec<Mutex<Sm>>>, done: &Sender<Done>) {
-    while let Ok(Job::Cycle { now, sms }) = jobs.recv() {
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            for &(i, level, period) in &sms {
-                lock_sm(&cells[i]).cycle_local(now, level, period);
+/// Executes one job over one partition's shard. Runs on whichever
+/// thread currently owns the shard (worker, or engine for partition 0
+/// and dead partitions).
+fn run_job(job: &JobDesc, sms: &mut [Sm], due: &[(usize, VfLevel, Femtos)]) {
+    if job.all {
+        for sm in sms.iter_mut() {
+            let mut t = job.now;
+            for tick in 0..job.ticks {
+                sm.cycle_local(t, job.level, job.period);
+                if job.ticks > 1 {
+                    // Batched window: the commit phase is skipped for
+                    // in-window ticks (the engine proved nothing can
+                    // interact), so its statistics half runs here.
+                    sm.account_cycle(job.level);
+                }
+                if tick + 1 < job.ticks {
+                    t += job.period;
+                }
             }
-        }));
-        let msg = match result {
-            Ok(()) => Done::Finished(sms),
-            Err(payload) => Done::Panicked(payload),
-        };
-        if done.send(msg).is_err() {
+        }
+    } else {
+        for &(local, level, period) in due {
+            sms[local].cycle_local(job.now, level, period);
+        }
+    }
+}
+
+/// The persistent worker body for partition `part`: spin (then park) on
+/// the epoch counter, run the published job over the owned shard,
+/// publish completion, repeat until shutdown.
+fn worker_loop(shared: &Shared, part: usize) {
+    let mut seen = 0u64;
+    loop {
+        let mut spins = 0u32;
+        loop {
+            let e = shared.epoch.load(Ordering::Acquire);
+            if e != seen {
+                seen = e;
+                break;
+            }
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                // The engine unparks every worker after each epoch
+                // bump; a bump between the load above and this park
+                // leaves the park token set, so park returns
+                // immediately — no lost wakeup.
+                std::thread::park();
+            }
+        }
+        let cell = &shared.parts[part];
+        if shared.shutdown.load(Ordering::Acquire) {
+            cell.done.store(seen, Ordering::Release);
             return;
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: observing the new epoch with Acquire transferred
+            // ownership of this partition's cells to this worker until
+            // the Release `done` store below.
+            unsafe { run_job(&*shared.job.get(), &mut *cell.sms.get(), &*cell.due.get()) };
+        }));
+        if let Err(payload) = result {
+            // SAFETY: same ownership window as the job itself.
+            unsafe { *cell.panic.get() = Some(payload) };
+        }
+        cell.done.store(seen, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+
+    fn pool(num_sms: usize, workers: usize) -> SmPool {
+        let config = GpuConfig::gtx480();
+        let sms = (0..num_sms).map(|i| Sm::new(i, &config)).collect();
+        SmPool::new(sms, workers)
+    }
+
+    #[test]
+    fn partition_layout_is_a_pure_function_of_the_sm_index() {
+        // 7 SMs over 3 partitions: shards of 3, 2 and 2. Every accessor
+        // must hand back the SM whose global index was asked for.
+        let mut p = pool(7, 2);
+        for id in 0..7 {
+            assert_eq!(p.sm_ref(id).id(), id);
+            assert_eq!(p.sm_mut(id).id(), id);
+        }
+    }
+
+    #[test]
+    fn serial_pool_spawns_no_threads_and_dispatches_inline() {
+        let mut p = pool(4, 0);
+        assert!(!p.has_workers());
+        assert_eq!(p.num_sms(), 4);
+        // Inline dispatch must not deadlock waiting on nonexistent
+        // workers.
+        p.dispatch_all(1, VfLevel::Nominal, 1, 1);
+    }
+
+    #[test]
+    fn worker_panic_is_forwarded_and_the_pool_survives() {
+        let mut p = pool(4, 3);
+        if !p.has_workers() {
+            // Spawn failed on this host; the degraded pool has no
+            // worker panics to forward.
+            return;
+        }
+        // Global index 5 maps to worker partition 1 at local index 1 —
+        // out of range for its single-SM shard — so the job panics on
+        // the worker thread and must resurface on the dispatching one.
+        let bad: Vec<Assignment> = vec![(5, VfLevel::Nominal, 1)];
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.dispatch_due(1, &bad);
+        }));
+        assert!(caught.is_err(), "worker panic must surface on dispatch");
+        // The worker caught the panic and kept its loop alive: the pool
+        // still dispatches, still hands out SMs, and still joins
+        // cleanly on drop.
+        p.dispatch_all(2, VfLevel::Nominal, 1, 1);
+        for id in 0..4 {
+            assert_eq!(p.sm_ref(id).id(), id);
         }
     }
 }

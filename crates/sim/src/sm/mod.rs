@@ -364,9 +364,22 @@ impl Sm {
         }
 
         // 6. Statistics (busy_cycles needs post-retire residency).
+        self.account_cycle(level);
+    }
+
+    /// The per-cycle statistics half of [`Sm::commit`] (step 6): busy /
+    /// idle cycle accounting and the periodic warp-state sample.
+    ///
+    /// Split out so batched windows can run it inside the local phase:
+    /// when the engine has proven a window contains no staged access, no
+    /// completed block and no VF transition, steps 5a/5b of the commit
+    /// are no-ops and this is the *entire* observable effect of the
+    /// commit — it touches only this SM's own counters, so it is safe on
+    /// a worker thread.
+    pub(crate) fn account_cycle(&mut self, level: VfLevel) {
         let snap = self.snapshot;
         if snap.active > 0 || self.busy() {
-            self.events[li].busy_cycles += 1;
+            self.events[level.index()].busy_cycles += 1;
         }
         self.epoch.cycles += 1;
         self.run_total.cycles += 1;
@@ -378,6 +391,53 @@ impl Sm {
             self.epoch.sample(&snap);
             self.run_total.sample(&snap);
         }
+    }
+
+    /// How many back-to-back cycles this SM can provably run without any
+    /// cross-SM interaction, assuming it is currently [`Sm::quiescent`]:
+    /// the minimum, over schedulable warps, of the distance to the next
+    /// memory instruction or to program completion (both *events* that
+    /// need the shared commit phase — a staged [`PendingAccess`] or a
+    /// block retirement/GWDE refill). Warps advance at most one
+    /// instruction per cycle, so an event `d` instructions away cannot
+    /// occur within `d` cycles.
+    ///
+    /// Paused blocks are excluded: pause state only changes at epoch
+    /// boundaries (`set_target_blocks`) or in the commit phase (`fill`),
+    /// neither of which can happen inside a window. Barrier-waiting
+    /// warps are included at their already-advanced pc — barrier release
+    /// is purely SM-local.
+    pub(crate) fn batch_horizon(&self) -> u64 {
+        // Belt and braces: a window must never start with unretired
+        // blocks (commit always drains them, so this cannot fire after a
+        // completed tick).
+        if !self.completed_scratch.is_empty() {
+            return 0;
+        }
+        let Some(program) = self.program.as_deref() else {
+            return u64::MAX;
+        };
+        let mut horizon = u64::MAX;
+        for warp in self.warps.iter().flatten() {
+            if warp.finished {
+                // Inert: an unfinished sibling keeps the block resident
+                // (a fully finished block would already have retired),
+                // and with no pending loads — the SM is quiescent —
+                // nothing about this warp can change in-window.
+                continue;
+            }
+            if self.blocks[warp.block_slot]
+                .as_ref()
+                .is_some_and(|b| b.paused)
+            {
+                continue;
+            }
+            horizon = horizon.min(program.issue_runway(warp.pc, warp.block_index));
+            if horizon < 2 {
+                break;
+            }
+        }
+        horizon
     }
 
     /// Sanitizer hook (`validate` feature): asserts that the SM holds no

@@ -1,45 +1,30 @@
-//! Analyze fixture: `lock-order`. The pool discipline is "at most one
-//! SM lock held at a time, always through `lock_sm`". Sequential
-//! acquisition with an explicit `drop` is fine, and closure
-//! temporaries die when their call's parens close — the engine's
-//! map/sum sampling shape must stay clean. Overlapping guards and raw
-//! `.lock()` bypasses are flagged at the offending acquisition.
+//! Analyze fixture: `lock-order`. SM shards are owned by exactly one
+//! thread and hand off through atomic epoch counters, so everything
+//! reachable from a stepping hot-path root (`commit`, `worker_loop`,
+//! ...) must be lock-free: any `Mutex`/`RwLock` type or `.lock()`
+//! acquisition is flagged at the offending line. Helpers that no root
+//! reaches — exporters, test scaffolding — may lock freely.
 
-struct Sm {
+struct Shard {
     score: u64,
 }
 
-fn lock_sm(cell: &Mutex<Sm>) -> MutexGuard<'_, Sm> {
-    cell.lock().expect("SM mutex poisoned")
+fn worker_loop(shards: &[Shard]) {
+    for s in shards {
+        service(s);
+    }
 }
 
-fn serial_ok(cells: &[Mutex<Sm>]) -> u64 {
-    let sm = lock_sm(&cells[0]);
-    let a = sm.score;
-    drop(sm);
-    let sm = lock_sm(&cells[1]);
-    a + sm.score
+fn service(s: &Shard) {
+    let _g = s.cell.lock(); //~ lock-order
 }
 
-fn tally_ok(cells: &[Mutex<Sm>]) -> u64 {
-    cells.iter().map(|c| lock_sm(c).score).sum::<u64>()
+fn commit(s: &mut Shard) -> u64 {
+    let stats = Mutex::new(s.score); //~ lock-order
+    stats.into_inner()
 }
 
-fn double_lock(cells: &[Mutex<Sm>]) -> u64 {
-    let first = lock_sm(&cells[0]);
-    let second = lock_sm(&cells[1]); //~ lock-order
-    first.score + second.score
-}
-
-fn nested_args(cells: &[Mutex<Sm>]) -> u64 {
-    merge(lock_sm(&cells[0]).score, lock_sm(&cells[1]).score) //~ lock-order
-}
-
-fn raw_bypass(cells: &[Mutex<Sm>]) -> u64 {
-    let sm = cells[0].lock().expect("SM mutex poisoned"); //~ lock-order
-    sm.score
-}
-
-fn merge(a: u64, b: u64) -> u64 {
-    a + b
+fn exporter_ok(registry: &Registry) -> u64 {
+    let snapshot = registry.inner.lock();
+    snapshot.score
 }

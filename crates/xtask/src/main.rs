@@ -19,11 +19,14 @@
 //!   `validate`-feature test suite under the thread pool, the lint pass,
 //!   the effect-analysis pass (its JSON report lands in
 //!   `target/analyze-report.json`), a `sim-report` artifact smoke test,
-//!   and a formatting check (skipped with a warning when rustfmt is
-//!   absent).
+//!   a parallel-speedup gate (regenerate `BENCH_sim.json` via the
+//!   `perf_micro` bench and assert `parallel/mri-q` beats
+//!   `baseline-15sm/mri-q` by ≥2×; skipped loudly on hosts with fewer
+//!   than 4 cores, where the pool can only add overhead), and a
+//!   formatting check (skipped with a warning when rustfmt is absent).
 
 use std::env;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{exit, Command};
 use std::time::Instant;
 
@@ -330,6 +333,40 @@ fn cmd_ci() -> i32 {
         return 1;
     }
 
+    // Parallel-speedup gate: the partitioned pool must actually win on
+    // a wide host. Regenerate the micro-benchmark (it rewrites
+    // `BENCH_sim.json` at the workspace root) and assert the
+    // `parallel/mri-q` row beats the serial `baseline-15sm/mri-q` row
+    // by the target margin. A host without real parallelism cannot
+    // observe a speedup — extra partitions only add dispatch overhead
+    // there — so below 4 cores the assertion is skipped, loudly, rather
+    // than faked.
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if cores >= 4 {
+        if !run_step(
+            &cargo,
+            "bench (perf_micro)",
+            &["bench", "-p", "equalizer-bench", "--bench", "perf_micro"],
+        ) {
+            return 1;
+        }
+        match check_parallel_speedup(&workspace_root().join("BENCH_sim.json")) {
+            Ok(msg) => println!("==> speedup: {msg}"),
+            Err(msg) => {
+                eprintln!("==> speedup failed: {msg}");
+                return 1;
+            }
+        }
+    } else {
+        println!(
+            "==> speedup: host has {cores} core(s); the worker pool cannot outrun the \
+             serial engine without real parallelism — skipping the \
+             {SPEEDUP_TARGET:.1}x assertion (needs >= 4 cores)"
+        );
+    }
+
     // rustfmt ships with rustup toolchains but not every bare cargo
     // install; a missing formatter should not fail offline CI.
     let fmt_available = Command::new(&cargo)
@@ -348,4 +385,69 @@ fn cmd_ci() -> i32 {
 
     println!("==> ci: all steps passed");
     0
+}
+
+/// Minimum `baseline-15sm/mri-q` over `parallel/mri-q` mean-time ratio
+/// the CI speedup gate demands on hosts with at least 4 cores.
+const SPEEDUP_TARGET: f64 = 2.0;
+
+/// Extracts the `mean_ns` value of the named row from `BENCH_sim.json`
+/// text. The file is written by `equalizer_bench::timing::json_report`
+/// — one object per line with `"name": "..."` and `"mean_ns": N`
+/// fields — so a line scan is enough; no JSON parser needed.
+fn bench_mean_ns(json: &str, name: &str) -> Option<f64> {
+    let tag = format!("\"name\": \"{name}\"");
+    let line = json.lines().find(|l| l.contains(&tag))?;
+    let rest = line.split("\"mean_ns\":").nth(1)?;
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse::<f64>().ok()
+}
+
+/// Parses `BENCH_sim.json` and checks the parallel speedup target.
+/// Returns the human-readable verdict, `Err` when the target is missed
+/// or the rows are absent.
+fn check_parallel_speedup(path: &Path) -> Result<String, String> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("could not read {}: {e}", path.display()))?;
+    let base = bench_mean_ns(&json, "baseline-15sm/mri-q")
+        .ok_or_else(|| "no baseline-15sm/mri-q row in BENCH_sim.json".to_string())?;
+    let par = bench_mean_ns(&json, "parallel/mri-q")
+        .ok_or_else(|| "no parallel/mri-q row in BENCH_sim.json".to_string())?;
+    let speedup = base / par.max(1.0);
+    if speedup >= SPEEDUP_TARGET {
+        Ok(format!(
+            "parallel/mri-q is {speedup:.2}x over baseline-15sm/mri-q \
+             (target {SPEEDUP_TARGET:.1}x)"
+        ))
+    } else {
+        Err(format!(
+            "parallel/mri-q is only {speedup:.2}x over baseline-15sm/mri-q \
+             (target {SPEEDUP_TARGET:.1}x); the partitioned pool must win \
+             on a multi-core host"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::bench_mean_ns;
+
+    #[test]
+    fn bench_mean_ns_parses_the_timing_report_shape() {
+        let json = concat!(
+            "[\n",
+            "  {\"name\": \"baseline-15sm/mri-q\", \"min_ns\": 1, ",
+            "\"median_ns\": 2, \"mean_ns\": 400, \"samples\": 5},\n",
+            "  {\"name\": \"parallel/mri-q\", \"min_ns\": 1, ",
+            "\"median_ns\": 2, \"mean_ns\": 100, \"samples\": 5}\n",
+            "]\n",
+        );
+        assert_eq!(bench_mean_ns(json, "baseline-15sm/mri-q"), Some(400.0));
+        assert_eq!(bench_mean_ns(json, "parallel/mri-q"), Some(100.0));
+        assert_eq!(bench_mean_ns(json, "missing/row"), None);
+    }
 }

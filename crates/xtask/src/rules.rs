@@ -6,7 +6,7 @@
 //! |------------------------|----------|---------------|
 //! | `local-phase-purity`   | error    | impure effects (shared writes, interior mutability, rng, time, io, unordered iteration) on any fn reachable from `cycle_local` |
 //! | `commit-only-mutation` | error    | a `SharedWrite` effect on a fn outside the `commit`/`cycle` call tree |
-//! | `lock-order`           | error    | a second SM lock acquired while one is held, or a raw `.lock()` bypassing `lock_sm` |
+//! | `lock-order`           | error    | a `Mutex`/`RwLock` (or any `.lock()` acquisition) reachable from the SM stepping hot path |
 //! | `float-accum-order`    | warning  | a float reduction in a fn that also iterates an unordered container |
 //!
 //! Findings honor the same `// lint: allow(<rule>) -- reason` escape
@@ -175,8 +175,17 @@ fn json_str(s: &str) -> String {
 /// two-phase cycle contract.
 const LOCAL_ROOT: &str = "cycle_local";
 const COMMIT_ROOTS: &[&str] = &["commit", "cycle"];
-/// The sanctioned SM lock wrapper.
-const LOCK_WRAPPER: &str = "lock_sm";
+/// Roots of the SM stepping hot path: the two cycle phases (and their
+/// fused serial form), the engine's per-tick driver and the pool's
+/// worker body. `lock-order` walks everything reachable from whichever
+/// of these the universe defines.
+const HOT_PATH_ROOTS: &[&str] = &[
+    "cycle_local",
+    "commit",
+    "cycle",
+    "step_running",
+    "worker_loop",
+];
 
 /// Effects that make a local-phase function impure. `FloatAccum` alone
 /// is excluded: an ordered float reduction is deterministic, and the
@@ -281,129 +290,70 @@ fn rule_commit_only_mutation(
     }
 }
 
-/// A live lock guard in the lexical scan.
-struct Guard {
-    /// Brace depth inside the body when acquired.
-    brace: i32,
-    /// Paren depth just before the acquisition's own `(`.
-    paren: i32,
-    /// The let-bound name, when the guard is bound (`let sm = lock_sm(…)`);
-    /// `None` for expression temporaries.
-    name: Option<String>,
-}
-
-/// `lock-order`: the SM pool's deadlock discipline is "at most one SM
-/// lock held at a time, always acquired through `lock_sm`" — which
-/// makes any ascending-index ordering vacuously true. The scan tracks
-/// guard lifetimes lexically: let-bound guards live to the end of their
-/// block or an explicit `drop(name)`; expression temporaries die at the
-/// statement's `;` or when their enclosing call's parens close.
+/// `lock-order`: the partitioned pool's discipline is "no locks on the
+/// SM hot path". Shards are owned outright by exactly one thread, the
+/// dispatch hand-off is an atomic epoch counter, and shared mutation
+/// happens only in the serial commit phase — so any `Mutex`/`RwLock`
+/// named (or `.lock()` acquired) in a function reachable from a
+/// hot-path root reintroduces exactly the blocking, contention and
+/// poisoning modes the partition refactor removed. The walk is
+/// transitive over the call graph, so a lock three helpers deep is
+/// found.
 fn rule_lock_order(model: &Model, out: &mut Vec<AnalysisFinding>) {
-    let has_wrapper = model.defines(LOCK_WRAPPER);
-    for def in &model.defs {
-        if def.name == LOCK_WRAPPER {
-            continue; // the wrapper's own `.lock()` is the sanctioned site
+    let roots: Vec<&str> = HOT_PATH_ROOTS
+        .iter()
+        .copied()
+        .filter(|r| model.defines(r))
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let reach = model.reachable_defs(&roots);
+    for (idx, def) in model.defs.iter().enumerate() {
+        if !reach.contains(&idx) {
+            continue;
         }
-        scan_lock_body(def, model, has_wrapper, out);
+        scan_lock_body(def, model, out);
     }
 }
 
-fn scan_lock_body(def: &FnDef, model: &Model, has_wrapper: bool, out: &mut Vec<AnalysisFinding>) {
+/// Scans one hot-path function body for lock tokens: the `Mutex` /
+/// `RwLock` type names and `.lock()` acquisitions. (`.locked…` /
+/// `relock(...)`-style identifiers do not match; the same-line dedup in
+/// `analyze_prepared` collapses a declaration and an acquisition that
+/// share a line.)
+fn scan_lock_body(def: &FnDef, model: &Model, out: &mut Vec<AnalysisFinding>) {
     let body = &def.body;
-    let chars: Vec<char> = body.chars().collect();
-    let mut brace = 0i32;
-    let mut paren = 0i32;
-    let mut guards: Vec<Guard> = Vec::new();
-    let mut i = 0usize;
-    while i < chars.len() {
-        let c = chars[i];
-        match c {
-            '{' => brace += 1,
-            '}' => {
-                brace -= 1;
-                guards.retain(|g| g.brace <= brace);
-            }
-            '(' => paren += 1,
-            ')' => {
-                paren -= 1;
-                guards.retain(|g| g.name.is_some() || g.paren <= paren);
-            }
-            ';' => guards.retain(|g| g.name.is_some() || g.brace != brace),
-            _ => {}
+    let mut hits: Vec<(usize, &'static str)> = Vec::new();
+    for ty in ["Mutex", "RwLock"] {
+        for at in model::token_offsets(body, ty) {
+            hits.push((at, ty));
         }
-        // `drop(name)` releases a let-bound guard.
-        if c == 'd' && body[i..].starts_with("drop") {
-            let rest = body[i + 4..].trim_start();
-            if let Some(arg) = rest.strip_prefix('(') {
-                let end = arg
-                    .find(|ch: char| !model::is_ident_char(ch))
-                    .unwrap_or(arg.len());
-                let name = &arg[..end];
-                guards.retain(|g| g.name.as_deref() != Some(name));
-            }
+    }
+    let mut search = 0usize;
+    while let Some(pos) = body[search..].find(".lock") {
+        let at = search + pos;
+        search = at + 5;
+        if body[search..].trim_start().starts_with('(') {
+            hits.push((at, ".lock()"));
         }
-        let acquisition = if c == 'l'
-            && body[i..].starts_with("lock_sm")
-            && !body[..i]
-                .chars()
-                .next_back()
-                .is_some_and(model::is_ident_char)
-            && body[i + 7..].trim_start().starts_with('(')
-        {
-            Some(false)
-        } else if c == '.' && body[i..].starts_with(".lock") && {
-            let after = body[i + 5..].trim_start();
-            after.starts_with('(')
-        } {
-            Some(true)
-        } else {
-            None
-        };
-        if let Some(raw) = acquisition {
-            let line = def.body_line + body[..i].chars().filter(|&ch| ch == '\n').count();
-            if raw && has_wrapper {
-                out.push(AnalysisFinding {
-                    rule: "lock-order",
-                    severity: Severity::Error,
-                    file: model.files[def.file].clone(),
-                    line,
-                    function: def.display_name(),
-                    message: format!(
-                        "acquires an SM lock with a raw `.lock()`; all acquisitions \
-                         must go through `{LOCK_WRAPPER}` so the discipline stays auditable"
-                    ),
-                });
-            }
-            if let Some(held) = guards.first() {
-                let held_name = held.name.as_deref().unwrap_or("<temporary>");
-                out.push(AnalysisFinding {
-                    rule: "lock-order",
-                    severity: Severity::Error,
-                    file: model.files[def.file].clone(),
-                    line,
-                    function: def.display_name(),
-                    message: format!(
-                        "acquires a second SM lock while guard `{held_name}` is live; \
-                         holding two SM locks risks deadlock — release the first \
-                         (or `drop` it) before locking again"
-                    ),
-                });
-            }
-            // Is this acquisition let-bound? Look back over the current
-            // statement for `let <name> =`.
-            let stmt_start = body[..i].rfind([';', '{', '}']).map(|p| p + 1).unwrap_or(0);
-            let stmt = &body[stmt_start..i];
-            let name = model::token_offsets(stmt, "let").first().and_then(|&at| {
-                let after = stmt[at + 3..].trim_start();
-                let after = after.strip_prefix("mut ").unwrap_or(after).trim_start();
-                let end = after
-                    .find(|ch: char| !model::is_ident_char(ch))
-                    .unwrap_or(after.len());
-                (end > 0).then(|| after[..end].to_string())
-            });
-            guards.push(Guard { brace, paren, name });
-        }
-        i += 1;
+    }
+    hits.sort_by_key(|&(at, _)| at);
+    for (at, what) in hits {
+        let line = def.body_line + body[..at].chars().filter(|&ch| ch == '\n').count();
+        out.push(AnalysisFinding {
+            rule: "lock-order",
+            severity: Severity::Error,
+            file: model.files[def.file].clone(),
+            line,
+            function: def.display_name(),
+            message: format!(
+                "uses `{what}` on the SM stepping hot path; SM shards are owned \
+                 by exactly one thread with atomic epoch-counter hand-off, so \
+                 blocking locks are banned from everything reachable from \
+                 `cycle_local`/`commit`/`cycle`/`step_running`/`worker_loop`"
+            ),
+        });
     }
 }
 
@@ -587,20 +537,22 @@ const EXPLANATIONS: &[(&str, &str)] = &[
         "lock-order",
         "lock-order (error)\n\
          \n\
-         Why: the SM pool's deadlock discipline is one SM lock at a time,\n\
-         acquired only through `lock_sm`. Under that discipline, ascending-\n\
-         index acquisition order holds vacuously; two overlapping guards\n\
-         (or a raw `.lock()` bypassing the wrapper) are exactly the shapes\n\
-         that can deadlock once workers contend during the lock-free\n\
-         refactor.\n\
+         Why: the partitioned pool gives each thread outright ownership of\n\
+         its SM shard and synchronises dispatch with atomic epoch counters,\n\
+         so the SM stepping hot path — everything reachable from\n\
+         `cycle_local`, `commit`, `cycle`, `step_running` or `worker_loop` —\n\
+         is lock-free by construction. A `Mutex`/`RwLock` (or any `.lock()`\n\
+         acquisition) on that path reintroduces the blocking, contention\n\
+         and poisoning failure modes the partition refactor removed.\n\
          \n\
          Violation:\n\
-             let a = lock_sm(&cells[0]);\n\
-             let b = lock_sm(&cells[1]);  // flagged: `a` is still live\n\
+             fn commit(&mut self, mem: &mut MemSystem) {\n\
+                 let _g = self.shared.lock();   // flagged\n\
+             }\n\
          \n\
-         Fix: `drop(a)` before the second acquisition, restructure to one\n\
-         lock per statement, or justify a deliberate multi-lock with\n\
-         `// lint: allow(lock-order) -- <ordering argument>`.",
+         Fix: keep shared mutation in the serial commit phase, extend the\n\
+         partition hand-off instead of locking, or justify a deliberate\n\
+         lock with `// lint: allow(lock-order) -- <why it cannot block>`.",
     ),
     (
         "float-accum-order",
@@ -753,75 +705,48 @@ fn rogue(_mem: &mut MemSystem) {}
     }
 
     #[test]
-    fn lock_order_flags_overlapping_guards() {
+    fn lock_order_flags_locks_reachable_from_the_hot_path() {
+        // The `.lock()` lives two calls deep from the worker body — only
+        // the transitive walk can see it.
         let src = "\
-fn lock_sm(c: &C) -> G { c.lock() }
-fn double(cells: &[C]) {
-    let a = lock_sm(&cells[0]);
-    let b = lock_sm(&cells[1]);
-    use2(&a, &b);
+fn worker_loop(parts: &[P]) {
+    for p in parts {
+        service(p);
+    }
+}
+fn service(p: &P) {
+    let _g = p.cell.lock();
 }
 ";
         let r = analyze(&[("a.rs", src)]);
-        assert_eq!(fired(&r), vec![("lock-order", 4)]);
+        assert_eq!(fired(&r), vec![("lock-order", 7)]);
     }
 
     #[test]
-    fn lock_order_accepts_sequential_statement_locks() {
+    fn lock_order_flags_mutex_types_on_the_hot_path() {
         let src = "\
-fn lock_sm(c: &C) -> G { c.lock() }
-fn serial(cells: &[C]) {
-    lock_sm(&cells[0]).step();
-    lock_sm(&cells[1]).step();
-    for c in cells {
-        let g = lock_sm(c);
-        g.step();
-    }
+fn step_running(n: u32) -> u32 {
+    let shared = Mutex::new(n);
+    shared.into_inner()
 }
 ";
         let r = analyze(&[("a.rs", src)]);
-        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(fired(&r), vec![("lock-order", 2)]);
     }
 
     #[test]
-    fn lock_order_accepts_closure_temporaries_across_struct_fields() {
-        // The engine's CycleLimit shape: each closure's guard dies when
-        // its map(...) parens close, so the fields never overlap.
+    fn lock_order_ignores_locks_off_the_hot_path() {
+        // An exporter may lock: it is not reachable from any hot-path
+        // root, so the discipline does not apply to it.
         let src = "\
-fn lock_sm(c: &C) -> G { c.lock() }
-fn tally(cells: &[C]) -> E {
-    E {
-        active: cells.iter().map(|c| lock_sm(c).active()).sum(),
-        pending: cells.iter().map(|c| lock_sm(c).pending()).sum(),
-    }
+fn commit(x: u32) -> u32 {
+    bump(x)
 }
-";
-        let r = analyze(&[("a.rs", src)]);
-        assert!(r.findings.is_empty(), "{:?}", r.findings);
-    }
-
-    #[test]
-    fn lock_order_flags_nested_call_arguments() {
-        let src = "\
-fn lock_sm(c: &C) -> G { c.lock() }
-fn nested(cells: &[C]) {
-    observe(&lock_sm(&cells[0]), &lock_sm(&cells[1]));
+fn bump(x: u32) -> u32 {
+    x + 1
 }
-";
-        let r = analyze(&[("a.rs", src)]);
-        assert_eq!(fired(&r), vec![("lock-order", 3)]);
-    }
-
-    #[test]
-    fn lock_order_respects_drop() {
-        let src = "\
-fn lock_sm(c: &C) -> G { c.lock() }
-fn relock(cells: &[C]) {
-    let a = lock_sm(&cells[0]);
-    a.step();
-    drop(a);
-    let b = lock_sm(&cells[1]);
-    b.step();
+fn exporter(m: &M) {
+    let _g = m.lock();
 }
 ";
         let r = analyze(&[("a.rs", src)]);
@@ -829,22 +754,37 @@ fn relock(cells: &[C]) {
     }
 
     #[test]
-    fn lock_order_flags_raw_lock_bypass() {
-        let src = "\
-fn lock_sm(c: &C) -> G { c.lock() }
-fn bypass(cell: &C) {
-    let _g = cell.lock();
-}
-";
+    fn lock_order_is_inert_without_a_hot_path_root() {
+        let src = "fn exporter(m: &M) { let _g = m.lock(); }\n";
         let r = analyze(&[("a.rs", src)]);
-        assert_eq!(fired(&r), vec![("lock-order", 3)]);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
     }
 
     #[test]
-    fn raw_lock_is_fine_without_a_wrapper() {
-        let src = "fn f(m: &Mutex<u32>) { let _g = m.lock(); }\n";
+    fn lock_order_does_not_match_lock_like_identifiers() {
+        let src = "\
+fn commit(c: &mut C) {
+    c.locked_out();
+    relock(c);
+}
+fn relock(_c: &mut C) {}
+";
         let r = analyze(&[("a.rs", src)]);
         assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn lock_order_allow_suppresses() {
+        let src = "\
+fn commit(c: &C) {
+    // lint: allow(lock-order) -- metrics sink, never contended per tick
+    let _g = c.stats.lock();
+}
+";
+        let r = analyze(&[("a.rs", src)]);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].rule, "lock-order");
     }
 
     #[test]

@@ -1,10 +1,15 @@
 //! Parallel stepping is a pure wall-clock knob: for any
-//! `SimOptions::threads` value the two-phase cycle must produce
-//! bit-identical `RunStats` — epoch timelines included — to a serial
-//! run. These tests pin that property across the tier-1 workloads, the
-//! per-SM-VRM machine and runs with mid-run VF transitions.
+//! `SimOptions::threads` value the partitioned two-phase cycle must
+//! produce bit-identical `RunStats` — epoch timelines included — to a
+//! serial run, and so must tick batching for any `max_batch_ticks`
+//! value. These tests pin both properties across the tier-1 workloads,
+//! uneven SM partitions, the per-SM-VRM machine and runs with mid-run
+//! VF transitions.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
+
+use equalizer_sim::engine::{Engine, StepEvent};
 
 use equalizer_core::{Equalizer, Mode};
 use equalizer_sim::governor::{
@@ -34,7 +39,15 @@ where
     let serial: RunStats = simulate_with(config, kernel, &mut make_gov(), opts(1))
         .unwrap_or_else(|e| panic!("{name}: serial run failed: {e}"));
     assert!(serial.instructions() > 0, "{name}: kernel must do work");
-    for threads in [2, usize::MAX] {
+    // Sweep thread counts that exercise uneven partitions (SM count not
+    // divisible by the partition count) as well as the clamped maximum.
+    // Thread counts are clamped to the SM count by the engine, so dedupe
+    // by the effective value to avoid re-running identical machines.
+    let mut effective_seen = BTreeSet::new();
+    for threads in [2, 3, 4, 8, 15] {
+        if !effective_seen.insert(threads.min(config.num_sms)) {
+            continue;
+        }
         let parallel = simulate_with(config, kernel, &mut make_gov(), opts(threads))
             .unwrap_or_else(|e| panic!("{name}: threads={threads} run failed: {e}"));
         assert_eq!(
@@ -135,7 +148,14 @@ impl Governor for BoostThenThrottle {
 fn mid_run_vf_transitions_are_thread_invariant() {
     let mut config = GpuConfig::gtx480();
     config.num_sms = 4;
-    let kernel = KernelSpec::new(
+    let kernel = vf_mix_kernel();
+    assert_thread_invariant("vf-mix", &config, &kernel, BoostThenThrottle::default);
+}
+
+/// A mixed ALU/load/sync kernel whose runs cross VF transitions under
+/// [`BoostThenThrottle`].
+fn vf_mix_kernel() -> KernelSpec {
+    KernelSpec::new(
         "vf-mix",
         KernelCategory::Compute,
         4,
@@ -152,6 +172,94 @@ fn mid_run_vf_transitions_are_thread_invariant() {
                 900,
             )])),
         }],
+    )
+}
+
+#[test]
+fn full_machine_partitions_unevenly_and_stays_invariant() {
+    // The full 15-SM machine: thread counts 2, 4 and 8 all leave uneven
+    // partitions (15 = 7+8 = 4+4+4+3 = ...), and 15 gives every
+    // partition exactly one SM.
+    let config = GpuConfig::gtx480();
+    assert_eq!(config.num_sms, 15, "sweep assumes the full gtx480 array");
+    let kernel = KernelSpec::new(
+        "uneven",
+        KernelCategory::Compute,
+        4,
+        8,
+        vec![Invocation {
+            grid_blocks: 60,
+            program: Arc::new(Program::new(vec![Segment::new(
+                vec![Instr::alu(), Instr::load_streaming(), Instr::alu_dep()],
+                150,
+            )])),
+        }],
     );
-    assert_thread_invariant("vf-mix", &config, &kernel, BoostThenThrottle::default);
+    assert_thread_invariant("uneven", &config, &kernel, || StaticGovernor);
+}
+
+/// Runs `kernel` through a hand-stepped [`Engine`], returning the final
+/// stats and the number of SM ticks executed inside batched windows.
+fn engine_run(config: &GpuConfig, kernel: &KernelSpec, options: SimOptions) -> (RunStats, u64) {
+    let mut engine = Engine::new(config, kernel, options).unwrap();
+    while engine.step(&mut StaticGovernor).unwrap() != StepEvent::Complete {}
+    let stats = engine.stats();
+    let batched = engine.batched_ticks();
+    (stats, batched)
+}
+
+#[test]
+fn tick_batching_is_bit_identical_to_per_tick() {
+    let mut config = GpuConfig::gtx480();
+    config.num_sms = 4;
+
+    // A long pure-ALU kernel: once the initial loads drain, every warp
+    // is provably memory-free for thousands of cycles, so windows must
+    // actually open (the batched-tick counter is asserted below).
+    let alu = KernelSpec::new(
+        "batch-alu",
+        KernelCategory::Compute,
+        4,
+        8,
+        vec![Invocation {
+            grid_blocks: 24,
+            program: Arc::new(Program::new(vec![Segment::new(
+                vec![Instr::alu(), Instr::alu_dep()],
+                3000,
+            )])),
+        }],
+    );
+    let per_tick = SimOptions {
+        max_batch_ticks: 1,
+        ..SimOptions::default()
+    };
+    let (base, base_batched) = engine_run(&config, &alu, per_tick);
+    assert_eq!(base_batched, 0, "max_batch_ticks=1 must disable batching");
+    let (batched, batched_ticks) = engine_run(&config, &alu, SimOptions::default());
+    assert!(
+        batched_ticks > 0,
+        "a pure-ALU kernel must open batched windows"
+    );
+    assert_eq!(base, batched, "batched windows diverged from per-tick");
+
+    // Batching composes with the worker pool: same bits again.
+    let batched_parallel = SimOptions {
+        threads: 4,
+        ..SimOptions::default()
+    };
+    let (parallel, _) = engine_run(&config, &alu, batched_parallel);
+    assert_eq!(base, parallel, "parallel batched run diverged");
+
+    // A load/sync kernel with mid-run VF transitions: windows are rare
+    // and must refuse to open across in-flight memory or pending
+    // transitions — results stay bit-identical either way.
+    let mix = vf_mix_kernel();
+    let mk = |max_batch_ticks| SimOptions {
+        max_batch_ticks,
+        ..SimOptions::default()
+    };
+    let serial = simulate_with(&config, &mix, &mut BoostThenThrottle::default(), mk(1)).unwrap();
+    let windowed =
+        simulate_with(&config, &mix, &mut BoostThenThrottle::default(), mk(1024)).unwrap();
+    assert_eq!(serial, windowed, "vf-mix diverged under batching");
 }

@@ -1,0 +1,433 @@
+//! `sim-load` — load generator and latency reporter for `sim-serve`.
+//!
+//! Drives a deterministic hot/cold request mix over several concurrent
+//! connections and reports wall-clock latency percentiles per request
+//! class, optionally merging them into `BENCH_sim.json`:
+//!
+//! * `serve/cold` — distinct requests, every one a fresh simulation;
+//! * `serve/cached` — repeats of the cold set, answered from the
+//!   result cache (byte-identical, no simulation);
+//! * `serve/warm-cold` — a governor sweep where every request
+//!   simulates its warm-up prefix from cycle 0;
+//! * `serve/warm-start` — the same governor sweep resuming from a
+//!   memoized prefix snapshot, simulating only the remainder.
+//!
+//! `-p99` rows carry the 99th percentile of the same sample sets.
+//!
+//! ```text
+//! sim-load --endpoint EP [--workload NAME] [--sms N] [--cold N]
+//!          [--hot N] [--warm-governors N] [--warm-epochs N]
+//!          [--connections N] [--bench PATH] [--min-hits N] [--shutdown]
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use equalizer_core::Mode;
+use equalizer_harness::serve::{Client, Request, Response, ServerStats, SimulateRequest};
+use equalizer_harness::System;
+use equalizer_sim::gpu::SimOptions;
+
+const USAGE: &str = "usage: sim-load --endpoint EP [--workload NAME] [--sms N] \
+                     [--cold N] [--hot N] [--warm-governors N] [--warm-epochs N] \
+                     [--connections N] [--bench PATH] [--min-hits N] [--shutdown]";
+
+struct Options {
+    endpoint: String,
+    workload: String,
+    sms: Option<usize>,
+    cold: usize,
+    hot: usize,
+    warm_governors: usize,
+    warm_epochs: u64,
+    connections: usize,
+    bench: Option<PathBuf>,
+    min_hits: u64,
+    shutdown: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            endpoint: String::new(),
+            workload: "cutcp".to_string(),
+            sms: Some(4),
+            cold: 6,
+            hot: 18,
+            warm_governors: 4,
+            // cutcp at 4 SMs executes ~228 epochs, so the default
+            // prefix is a substantial (~44%) share of the run.
+            warm_epochs: 100,
+            connections: 3,
+            bench: None,
+            min_hits: 0,
+            shutdown: false,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        let number = |flag: &str, v: String| {
+            v.parse::<usize>()
+                .map_err(|_| format!("{flag} needs a non-negative integer, got `{v}`"))
+        };
+        match arg.as_str() {
+            "--endpoint" => opts.endpoint = value(arg)?,
+            "--workload" | "-w" => opts.workload = value(arg)?,
+            "--sms" => opts.sms = Some(number(arg, value(arg)?)?),
+            "--cold" => opts.cold = number(arg, value(arg)?)?,
+            "--hot" => opts.hot = number(arg, value(arg)?)?,
+            "--warm-governors" => opts.warm_governors = number(arg, value(arg)?)?,
+            "--warm-epochs" => opts.warm_epochs = number(arg, value(arg)?)? as u64,
+            "--connections" => opts.connections = number(arg, value(arg)?)?.max(1),
+            "--bench" => opts.bench = Some(PathBuf::from(value(arg)?)),
+            "--min-hits" => opts.min_hits = number(arg, value(arg)?)? as u64,
+            "--shutdown" => opts.shutdown = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if opts.endpoint.is_empty() {
+        return Err(format!("--endpoint is required\n{USAGE}"));
+    }
+    if opts.cold == 0 {
+        return Err("--cold must be at least 1".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("sim-load: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    latency_ns: u128,
+    cached: bool,
+    warm_hit: bool,
+}
+
+/// One `BENCH_sim.json` row.
+struct Row {
+    name: String,
+    min_ns: u128,
+    median_ns: u128,
+    mean_ns: u128,
+    samples: u32,
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let opts = parse_args(args)?;
+    let request = |seed: u64, system: System, warm_epochs: u64| {
+        Request::Simulate(SimulateRequest {
+            kernel: opts.workload.clone(),
+            seed: Some(seed),
+            num_sms: opts.sms,
+            options: SimOptions::default(),
+            system,
+            warm_epochs,
+        })
+    };
+
+    // --- cold: distinct seeds, every request simulates.
+    let cold_requests: Vec<Request> = (1..=opts.cold as u64)
+        .map(|seed| request(seed, System::Equalizer(Mode::Performance), 0))
+        .collect();
+    let cold = run_phase(&opts.endpoint, &cold_requests, opts.connections)?;
+
+    // --- cached: a deterministic duplicate-heavy mix over the cold set.
+    let hot_requests: Vec<Request> = (0..opts.hot as u64)
+        .map(|i| {
+            request(
+                1 + (i * 7 + 3) % opts.cold as u64,
+                System::Equalizer(Mode::Performance),
+                0,
+            )
+        })
+        .collect();
+    let hot = run_phase(&opts.endpoint, &hot_requests, opts.connections)?;
+
+    // --- warm-start sweep. Two passes over the SAME governor set, so
+    // the comparison is apples-to-apples:
+    //
+    // * warm-cold: each governor with a private prefix key (the unhit
+    //   cycle limit is perturbed, which changes the key but not the
+    //   work), so every request simulates its warm-up from cycle 0;
+    // * warm-start: the same governors under default options, after a
+    //   leader request has published the shared prefix snapshot — each
+    //   simulates only its post-prefix remainder.
+    let mut warm_cold = Vec::new();
+    let mut warm_start = Vec::new();
+    if opts.warm_governors > 0 && opts.warm_epochs > 0 {
+        let leader_blocks = 2usize;
+        let sweep: Vec<usize> = (0..opts.warm_governors)
+            .map(|i| leader_blocks + 1 + i)
+            .collect();
+
+        let fresh_prefix: Vec<Request> = sweep
+            .iter()
+            .map(|&n| {
+                let mut req = match request(1, System::FixedBlocks(n), opts.warm_epochs) {
+                    Request::Simulate(r) => r,
+                    _ => unreachable!(),
+                };
+                req.options.max_cycles_per_invocation += n as u64;
+                Request::Simulate(req)
+            })
+            .collect();
+        warm_cold = run_phase(&opts.endpoint, &fresh_prefix, opts.connections)?;
+        if let Some(stray) = warm_cold.iter().find(|s| s.warm_hit) {
+            return Err(format!("fresh-prefix request unexpectedly warm: {stray:?}"));
+        }
+
+        let leader_req = [request(
+            1,
+            System::FixedBlocks(leader_blocks),
+            opts.warm_epochs,
+        )];
+        run_phase(&opts.endpoint, &leader_req, 1)?;
+        let shared_prefix: Vec<Request> = sweep
+            .iter()
+            .map(|&n| request(1, System::FixedBlocks(n), opts.warm_epochs))
+            .collect();
+        for s in run_phase(&opts.endpoint, &shared_prefix, opts.connections)? {
+            if s.warm_hit {
+                warm_start.push(s);
+            } else {
+                println!("note: shared-prefix request missed the snapshot cache");
+                warm_cold.push(s);
+            }
+        }
+    }
+
+    // --- report.
+    let mut rows = Vec::new();
+    let mut add = |name: &str, samples: &[Sample], with_p99: bool| {
+        if let Some(row) = summarize(name, samples) {
+            println!(
+                "{:<18} n={:<3} min {:>12} ns  p50 {:>12} ns  mean {:>12} ns{}",
+                row.name,
+                row.samples,
+                row.min_ns,
+                row.median_ns,
+                row.mean_ns,
+                p99_of(samples)
+                    .map(|v| format!("  p99 {v:>12} ns"))
+                    .unwrap_or_default(),
+            );
+            if with_p99 {
+                if let Some(p99) = p99_of(samples) {
+                    rows.push(Row {
+                        name: format!("{name}-p99"),
+                        min_ns: p99,
+                        median_ns: p99,
+                        mean_ns: p99,
+                        samples: samples.len() as u32,
+                    });
+                }
+            }
+            rows.push(row);
+        }
+    };
+    add("serve/cold", &cold, true);
+    add("serve/cached", &hot, true);
+    add("serve/warm-cold", &warm_cold, false);
+    add("serve/warm-start", &warm_start, false);
+    for (name, samples) in [("cold", &cold), ("cached", &hot)] {
+        let total_ns: u128 = samples.iter().map(|s| s.latency_ns).sum();
+        if total_ns > 0 {
+            println!(
+                "{name} throughput: {:.1} req/s over {} request(s)",
+                1e9 * samples.len() as f64 / total_ns as f64,
+                samples.len()
+            );
+        }
+    }
+
+    let miscached = hot.iter().filter(|s| !s.cached).count();
+    if miscached > 0 {
+        println!("note: {miscached} hot request(s) were not served from cache");
+    }
+
+    // --- server-side tallies; the CI smoke gates on these.
+    let mut client =
+        Client::connect(&opts.endpoint).map_err(|e| format!("connect for stats: {e}"))?;
+    let tallies = match client.call(&Request::Stats) {
+        Ok(Response::Stats(t)) => t,
+        Ok(other) => return Err(format!("stats request got unexpected reply {other:?}")),
+        Err(e) => return Err(format!("stats request failed: {e}")),
+    };
+    print_tallies(&tallies);
+    let hits = tallies.cache_hits + tallies.coalesced;
+    if hits < opts.min_hits {
+        return Err(format!(
+            "expected at least {} cache hit(s), server saw {hits}",
+            opts.min_hits
+        ));
+    }
+
+    if let Some(path) = &opts.bench {
+        merge_bench(path, &rows)?;
+        println!("merged {} serve row(s) into {}", rows.len(), path.display());
+    }
+
+    if opts.shutdown {
+        match client.call(&Request::Shutdown) {
+            Ok(Response::ShutdownAck) => println!("server acknowledged shutdown"),
+            Ok(other) => return Err(format!("shutdown got unexpected reply {other:?}")),
+            Err(e) => return Err(format!("shutdown failed: {e}")),
+        }
+    }
+    Ok(())
+}
+
+/// Issues `requests` across up to `connections` concurrent clients,
+/// returning one sample per request (order not preserved).
+fn run_phase(
+    endpoint: &str,
+    requests: &[Request],
+    connections: usize,
+) -> Result<Vec<Sample>, String> {
+    if requests.is_empty() {
+        return Ok(Vec::new());
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<Result<Sample, String>>();
+    std::thread::scope(|scope| {
+        for _ in 0..connections.clamp(1, requests.len()) {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || {
+                let mut client = match Client::connect(endpoint) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        let _ = tx.send(Err(format!("connect {endpoint}: {e}")));
+                        return;
+                    }
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests.len() {
+                        break;
+                    }
+                    let start = Instant::now();
+                    let reply = client.call(&requests[i]);
+                    let latency_ns = start.elapsed().as_nanos();
+                    let sample = match reply {
+                        Ok(Response::Outcome(outcome)) => Ok(Sample {
+                            latency_ns,
+                            cached: outcome.cached,
+                            warm_hit: outcome.warm_hit,
+                        }),
+                        Ok(Response::Error(msg)) => Err(format!("server error: {msg}")),
+                        Ok(other) => Err(format!("unexpected reply {other:?}")),
+                        Err(e) => Err(format!("request failed: {e}")),
+                    };
+                    let failed = sample.is_err();
+                    let _ = tx.send(sample);
+                    if failed {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut samples = Vec::with_capacity(requests.len());
+        for result in rx {
+            samples.push(result?);
+        }
+        Ok(samples)
+    })
+}
+
+fn summarize(name: &str, samples: &[Sample]) -> Option<Row> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut times: Vec<u128> = samples.iter().map(|s| s.latency_ns).collect();
+    times.sort_unstable();
+    Some(Row {
+        name: name.to_string(),
+        min_ns: times[0],
+        median_ns: times[times.len() / 2],
+        mean_ns: times.iter().sum::<u128>() / times.len() as u128,
+        samples: times.len() as u32,
+    })
+}
+
+fn p99_of(samples: &[Sample]) -> Option<u128> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut times: Vec<u128> = samples.iter().map(|s| s.latency_ns).collect();
+    times.sort_unstable();
+    Some(times[(times.len() - 1) * 99 / 100])
+}
+
+fn print_tallies(t: &ServerStats) {
+    println!(
+        "server tallies: {} request(s), {} simulated, {} cache hit(s), {} coalesced, \
+         {} warm hit(s), {} prefix run(s), {} error(s), {}+{} eviction(s)",
+        t.requests,
+        t.simulations,
+        t.cache_hits,
+        t.coalesced,
+        t.warm_hits,
+        t.prefix_runs,
+        t.errors,
+        t.result_evictions,
+        t.snapshot_evictions,
+    );
+}
+
+/// Merges `rows` into the `BENCH_sim.json` array at `path`: existing
+/// non-`serve/` rows are kept (the perf benches own them), existing
+/// `serve/` rows are replaced.
+fn merge_bench(path: &Path, rows: &[Row]) -> Result<(), String> {
+    let mut entries: Vec<String> = Vec::new();
+    if let Ok(existing) = fs::read_to_string(path) {
+        for line in existing.lines() {
+            let trimmed = line.trim();
+            if trimmed.starts_with('{') && !trimmed.contains("\"name\": \"serve/") {
+                entries.push(trimmed.trim_end_matches(',').to_string());
+            }
+        }
+    }
+    for row in rows {
+        entries.push(format!(
+            "{{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \
+             \"samples\": {}}}",
+            row.name, row.min_ns, row.median_ns, row.mean_ns, row.samples
+        ));
+    }
+    let mut out = String::from("[\n");
+    out.push_str(
+        &entries
+            .iter()
+            .map(|e| format!("  {e}"))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    out.push_str("\n]\n");
+    fs::write(path, out).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}

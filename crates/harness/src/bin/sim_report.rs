@@ -152,10 +152,17 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 
     let energy = model.energy(&stats);
+    let total_sm_ticks = stats.sm_cycles_at.iter().sum::<u64>() * stats.num_sms as u64;
+    let batched_pct = if total_sm_ticks == 0 {
+        0.0
+    } else {
+        100.0 * stats.batched_ticks as f64 / total_sm_ticks as f64
+    };
     let mut report = format!(
         "sim-report: workload {}, mode {}, {} SMs\n\
          simulated {:.6} s wall, {} instructions, {:.3} J total energy\n\
-         {} epoch(s), {} VF transition(s) observed\n\n",
+         {} epoch(s), {} VF transition(s) observed\n\
+         {} epoch(s) executed, {} of {} SM ticks batched ({:.1}%)\n\n",
         kernel.name(),
         opts.mode,
         config.num_sms,
@@ -167,6 +174,10 @@ fn run(args: &[String]) -> Result<(), String> {
             .map(|m| m.points.len())
             .unwrap_or(0),
         obs.vf_events().len(),
+        stats.epochs_executed,
+        stats.batched_ticks,
+        total_sm_ticks,
+        batched_pct,
     );
     report.push_str(&summary::summary(obs.registry()));
     report.push_str(&audit_digest(&governor));

@@ -1,0 +1,118 @@
+//! `sim-serve` — the simulation daemon.
+//!
+//! Binds a unix-domain or TCP socket, prints the resolved endpoint
+//! (machine-readable, for drivers that wait on it), and serves
+//! simulation requests until a shutdown request arrives. See
+//! `DESIGN.md` §11 for the protocol.
+//!
+//! ```text
+//! sim-serve (--unix PATH | --tcp ADDR) [--workers N]
+//!           [--cache N] [--snapshots N] [--sms N]
+//! ```
+
+use std::env;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use equalizer_harness::serve::{Bound, ServeOptions, Server};
+use equalizer_sim::config::GpuConfig;
+
+const USAGE: &str = "usage: sim-serve (--unix PATH | --tcp ADDR) [--workers N] \
+                     [--cache N] [--snapshots N] [--sms N]";
+
+struct Options {
+    unix: Option<PathBuf>,
+    tcp: Option<String>,
+    serve: ServeOptions,
+    sms: Option<usize>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        unix: None,
+        tcp: None,
+        serve: ServeOptions::default(),
+        sms: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        let number = |flag: &str, v: String| {
+            v.parse::<usize>()
+                .map_err(|_| format!("{flag} needs a non-negative integer, got `{v}`"))
+        };
+        match arg.as_str() {
+            "--unix" => opts.unix = Some(PathBuf::from(value(arg)?)),
+            "--tcp" => opts.tcp = Some(value(arg)?),
+            "--workers" => opts.serve.workers = number(arg, value(arg)?)?.max(1),
+            "--cache" => opts.serve.result_cache = number(arg, value(arg)?)?,
+            "--snapshots" => opts.serve.snapshot_cache = number(arg, value(arg)?)?,
+            "--sms" => {
+                let n = number(arg, value(arg)?)?;
+                if n == 0 {
+                    return Err("--sms must be at least 1".to_string());
+                }
+                opts.sms = Some(n);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    match (&opts.unix, &opts.tcp) {
+        (Some(_), Some(_)) => Err(format!("--unix and --tcp are exclusive\n{USAGE}")),
+        (None, None) => Err(format!("one of --unix or --tcp is required\n{USAGE}")),
+        _ => Ok(opts),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("sim-serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let opts = parse_args(args)?;
+
+    let mut config = GpuConfig::gtx480();
+    if let Some(n) = opts.sms {
+        config.num_sms = n;
+    }
+    let server = Server::new(config, opts.serve);
+
+    let bound = match (&opts.unix, &opts.tcp) {
+        (Some(path), None) => {
+            Bound::unix(path).map_err(|e| format!("cannot bind {}: {e}", path.display()))?
+        }
+        (None, Some(addr)) => Bound::tcp(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?,
+        _ => unreachable!("parse_args enforces exactly one endpoint"),
+    };
+
+    // Machine-readable readiness line: drivers wait for it, then
+    // connect to the printed endpoint (important for `--tcp 127.0.0.1:0`
+    // where the port is ephemeral).
+    println!("sim-serve: listening on {}", bound.endpoint());
+    let _ = std::io::stdout().flush();
+
+    bound
+        .run_until_shutdown(&server, opts.serve.workers)
+        .map_err(|e| format!("serve loop failed: {e}"))?;
+
+    let t = server.tallies();
+    println!(
+        "sim-serve: shut down after {} request(s): {} simulated, {} cache hit(s), \
+         {} coalesced, {} warm hit(s), {} prefix run(s), {} error(s)",
+        t.requests, t.simulations, t.cache_hits, t.coalesced, t.warm_hits, t.prefix_runs, t.errors
+    );
+    Ok(())
+}

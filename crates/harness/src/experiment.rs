@@ -106,8 +106,17 @@ pub struct Runner {
 /// Resolves the `SIM_THREADS` environment variable into a thread count
 /// for [`SimOptions::threads`].
 ///
-/// `SIM_THREADS=max` means all available cores, a number means that many
-/// threads, and anything else (including an unset variable) means serial.
+/// Accepted forms:
+///
+/// * unset or empty — serial (one thread);
+/// * `max` — all available cores;
+/// * a positive decimal integer, e.g. `4` — that many threads.
+///
+/// Anything else — `0`, a negative number, stray whitespace, a typo like
+/// `Max` — is rejected with a descriptive error rather than silently
+/// falling back to serial, so a mistyped CI knob cannot quietly run the
+/// whole suite single-threaded.
+///
 /// Each thread becomes one fixed SM partition of the engine's lock-free
 /// worker pool (the count is clamped to the SM count downstream). Thread
 /// count never changes results — the partitioned two-phase cycle is
@@ -116,13 +125,30 @@ pub struct Runner {
 /// call site) is acceptable here. Use `max` on multi-core hosts; on a
 /// single-core host extra partitions only add dispatch overhead (see the
 /// `sweep/mri-q-t*` rows in `BENCH_sim.json`).
-pub fn sim_threads_from_env() -> usize {
-    match std::env::var("SIM_THREADS") {
-        Ok(v) if v == "max" => std::thread::available_parallelism()
+///
+/// # Errors
+///
+/// Returns a descriptive message naming the rejected value and the
+/// accepted forms.
+pub fn sim_threads_from_env() -> Result<usize, String> {
+    parse_sim_threads(std::env::var("SIM_THREADS").ok().as_deref())
+}
+
+/// The parsing behind [`sim_threads_from_env`], split out so the rules
+/// are testable without mutating the process environment.
+fn parse_sim_threads(value: Option<&str>) -> Result<usize, String> {
+    match value {
+        None | Some("") => Ok(1),
+        Some("max") => Ok(std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
-        Ok(v) => v.parse().unwrap_or(1),
-        Err(_) => 1,
+            .unwrap_or(1)),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!(
+                "invalid SIM_THREADS value `{v}`: expected `max`, a positive \
+                 integer, or unset/empty for serial"
+            )),
+        },
     }
 }
 
@@ -131,12 +157,22 @@ impl Runner {
     ///
     /// Honours `SIM_THREADS` (see [`sim_threads_from_env`]) so CI can
     /// exercise the whole suite under the parallel stepping path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `SIM_THREADS` is set to a value
+    /// [`sim_threads_from_env`] rejects; a mistyped knob should stop the
+    /// run, not silently degrade it to serial.
     pub fn gtx480() -> Self {
+        let threads = match sim_threads_from_env() {
+            Ok(n) => n,
+            Err(msg) => panic!("{msg}"),
+        };
         Self {
             config: GpuConfig::gtx480(),
             model: PowerModel::gtx480(),
             options: SimOptions {
-                threads: sim_threads_from_env(),
+                threads,
                 ..SimOptions::default()
             },
         }
@@ -163,7 +199,12 @@ impl Runner {
 
     /// Resolves a [`System`] into the configuration and governor that
     /// realise it on this runner's hardware.
-    fn system_setup(&self, system: System) -> (GpuConfig, Box<dyn Governor>) {
+    ///
+    /// `pub(crate)` so the serving layer ([`crate::serve`]) resolves
+    /// requests through exactly the same mapping as the figure sweeps —
+    /// the resolved configuration is what its content-addressed request
+    /// keys are computed over.
+    pub(crate) fn system_setup(&self, system: System) -> (GpuConfig, Box<dyn Governor>) {
         match system {
             System::Static(point) => (point.apply(self.config.clone()), Box::new(StaticGovernor)),
             System::Equalizer(mode) => (
@@ -341,6 +382,24 @@ mod tests {
     fn parallel_map_empty_and_single() {
         assert_eq!(parallel_map(Vec::<i32>::new(), |x| *x), Vec::<i32>::new());
         assert_eq!(parallel_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn sim_threads_accepts_documented_forms() {
+        assert_eq!(parse_sim_threads(None), Ok(1));
+        assert_eq!(parse_sim_threads(Some("")), Ok(1));
+        assert_eq!(parse_sim_threads(Some("4")), Ok(4));
+        assert_eq!(parse_sim_threads(Some("1")), Ok(1));
+        assert!(parse_sim_threads(Some("max")).unwrap() >= 1);
+    }
+
+    #[test]
+    fn sim_threads_rejects_everything_else() {
+        for bad in ["0", "-2", " 4", "4 ", "Max", "all", "2x", "1.5"] {
+            let err = parse_sim_threads(Some(bad)).expect_err(&format!("`{bad}` must be rejected"));
+            assert!(err.contains(bad), "error names the value: {err}");
+            assert!(err.contains("max"), "error names accepted forms: {err}");
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 pub mod experiment;
 pub mod figures;
 pub mod profile;
+pub mod serve;
 pub mod tables;
 pub mod trace;
 

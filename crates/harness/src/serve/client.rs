@@ -1,0 +1,95 @@
+//! Blocking client for the simulation server.
+
+use std::io::{self};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use equalizer_sim::snapshot::{decode_run_stats, SnapshotError};
+use equalizer_sim::stats::RunStats;
+
+use super::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response, SimOutcome,
+};
+use super::server::Conn;
+
+/// One connection to a simulation server. Requests on a connection are
+/// answered in order; open several connections for parallelism.
+#[derive(Debug)]
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    /// Connects over a unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect_unix(path: &Path) -> io::Result<Self> {
+        Ok(Self {
+            conn: Conn::Unix(UnixStream::connect(path)?),
+        })
+    }
+
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect_tcp(addr: &str) -> io::Result<Self> {
+        Ok(Self {
+            conn: Conn::Tcp(TcpStream::connect(addr)?),
+        })
+    }
+
+    /// Connects to an endpoint string as printed by the daemon:
+    /// `unix:PATH` or `tcp:ADDR`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown schemes; propagates connect failures.
+    pub fn connect(endpoint: &str) -> io::Result<Self> {
+        if let Some(path) = endpoint.strip_prefix("unix:") {
+            Self::connect_unix(Path::new(path))
+        } else if let Some(addr) = endpoint.strip_prefix("tcp:") {
+            Self::connect_tcp(addr)
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("endpoint `{endpoint}` is neither unix:PATH nor tcp:ADDR"),
+            ))
+        }
+    }
+
+    /// Sends one request and reads its reply.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a server that closed mid-exchange, and replies
+    /// that fail to decode all surface as `io::Error`.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.conn, &encode_request(request))?;
+        let body = read_frame(&mut self.conn)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            )
+        })?;
+        decode_response(&body).map_err(|e: SnapshotError| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad response body: {e}"),
+            )
+        })
+    }
+}
+
+/// Decodes the statistics carried by a [`SimOutcome`].
+///
+/// # Errors
+///
+/// Propagates the typed decode error on malformed bytes.
+pub fn outcome_stats(outcome: &SimOutcome) -> Result<RunStats, SnapshotError> {
+    decode_run_stats(&outcome.stats_bytes)
+}

@@ -1,0 +1,237 @@
+//! Serving-layer correctness: cache hits are byte-identical to fresh
+//! runs, concurrent identical requests collapse onto one simulation,
+//! the result cache evicts deterministically under its bound, malformed
+//! frames never kill the daemon, and warm-started runs are
+//! byte-identical to their from-cycle-0 delayed-governor equivalents.
+
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+
+use equalizer_core::Mode;
+use equalizer_harness::serve::{
+    outcome_stats, protocol, Bound, Client, Request, Response, ServeOptions, Server, SimOutcome,
+    SimulateRequest,
+};
+use equalizer_harness::{Runner, System};
+use equalizer_power::PowerModel;
+use equalizer_sim::config::GpuConfig;
+use equalizer_sim::governor::FixedBlocksGovernor;
+use equalizer_sim::prelude::*;
+use equalizer_sim::snapshot::encode_run_stats;
+use equalizer_workloads::kernel_by_name;
+
+/// The cheapest catalog kernel (~100 ms release at 2 SMs, 79 epochs),
+/// so these tests stay affordable in debug builds too.
+const KERNEL: &str = "prtcl-2";
+
+fn small_config() -> GpuConfig {
+    let mut config = GpuConfig::gtx480();
+    config.num_sms = 2;
+    config
+}
+
+fn simulate_request(seed: u64, system: System, warm_epochs: u64) -> SimulateRequest {
+    SimulateRequest {
+        kernel: KERNEL.to_string(),
+        seed: Some(seed),
+        num_sms: None,
+        options: SimOptions::default(),
+        system,
+        warm_epochs,
+    }
+}
+
+fn outcome(response: Response) -> SimOutcome {
+    match response {
+        Response::Outcome(outcome) => outcome,
+        other => panic!("expected an outcome, got {other:?}"),
+    }
+}
+
+#[test]
+fn cache_hit_is_byte_identical_to_a_fresh_run() {
+    let server = Server::new(small_config(), ServeOptions::default());
+    let req = simulate_request(5, System::Equalizer(Mode::Performance), 0);
+
+    let first = outcome(server.respond(&Request::Simulate(req.clone())));
+    assert!(!first.cached);
+    let second = outcome(server.respond(&Request::Simulate(req.clone())));
+    assert!(second.cached, "identical repeat must come from cache");
+    assert_eq!(first.stats_bytes, second.stats_bytes);
+    assert_eq!(first.config_hash, second.config_hash);
+
+    // The server's bytes are the canonical encoding of exactly the run
+    // the harness would do locally.
+    let kernel = kernel_by_name(KERNEL).unwrap().with_seed(5);
+    let runner = Runner::new(small_config(), PowerModel::gtx480(), req.options);
+    let local = runner
+        .run(&kernel, System::Equalizer(Mode::Performance))
+        .unwrap();
+    assert_eq!(first.stats_bytes, encode_run_stats(&local.stats));
+    assert_eq!(outcome_stats(&first).unwrap(), local.stats);
+
+    let tallies = server.tallies();
+    assert_eq!(tallies.requests, 2);
+    assert_eq!(tallies.simulations, 1);
+    assert_eq!(tallies.cache_hits, 1);
+}
+
+#[test]
+fn single_flight_collapses_concurrent_identical_requests() {
+    const CLIENTS: u64 = 4;
+    let server = Arc::new(Server::new(small_config(), ServeOptions::default()));
+    let req = simulate_request(7, System::DynCta, 0);
+
+    let outcomes: Vec<SimOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let server = Arc::clone(&server);
+                let req = req.clone();
+                scope.spawn(move || outcome(server.respond(&Request::Simulate(req))))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for o in &outcomes {
+        assert_eq!(
+            o.stats_bytes, outcomes[0].stats_bytes,
+            "all replies identical"
+        );
+    }
+    let tallies = server.tallies();
+    assert_eq!(tallies.requests, CLIENTS);
+    assert_eq!(
+        tallies.simulations, 1,
+        "one leader simulates, everyone else shares"
+    );
+    assert_eq!(
+        tallies.cache_hits + tallies.coalesced,
+        CLIENTS - 1,
+        "every non-leader either joined the flight or hit the cache"
+    );
+}
+
+#[test]
+fn result_cache_eviction_is_bounded_and_deterministic() {
+    let server = Server::new(
+        small_config(),
+        ServeOptions {
+            result_cache: 1,
+            ..ServeOptions::default()
+        },
+    );
+    let req_a = Request::Simulate(simulate_request(1, System::DynCta, 0));
+    let req_b = Request::Simulate(simulate_request(2, System::DynCta, 0));
+
+    assert!(!outcome(server.respond(&req_a)).cached);
+    // B displaces A in the single-slot cache…
+    assert!(!outcome(server.respond(&req_b)).cached);
+    assert!(outcome(server.respond(&req_b)).cached);
+    // …so A must re-simulate, displacing B again.
+    assert!(!outcome(server.respond(&req_a)).cached);
+    assert!(!outcome(server.respond(&req_b)).cached);
+
+    let tallies = server.tallies();
+    assert_eq!(tallies.simulations, 4);
+    assert_eq!(tallies.cache_hits, 1);
+    assert_eq!(tallies.result_evictions, 3);
+}
+
+#[test]
+fn malformed_frames_get_error_replies_and_the_daemon_survives() {
+    let path =
+        std::env::temp_dir().join(format!("equalizer-serve-test-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let server = Arc::new(Server::new(small_config(), ServeOptions::default()));
+    let bound = Bound::unix(&path).unwrap();
+    let daemon = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || bound.run_until_shutdown(&server, 2))
+    };
+
+    // A broken frame (implausible length prefix) gets an error reply
+    // and costs only that connection.
+    let mut raw = UnixStream::connect(&path).unwrap();
+    std::io::Write::write_all(&mut raw, b"ZZZZgarbage").unwrap();
+    let reply = protocol::read_frame(&mut raw)
+        .unwrap()
+        .expect("error reply");
+    assert!(matches!(
+        protocol::decode_response(&reply).unwrap(),
+        Response::Error(msg) if msg.contains("malformed frame")
+    ));
+
+    // A well-framed but undecodable body gets an error reply and the
+    // SAME connection keeps working afterwards.
+    let mut conn = UnixStream::connect(&path).unwrap();
+    protocol::write_frame(&mut conn, &[0xFF, 1, 2, 3]).unwrap();
+    let reply = protocol::read_frame(&mut conn)
+        .unwrap()
+        .expect("error reply");
+    assert!(matches!(
+        protocol::decode_response(&reply).unwrap(),
+        Response::Error(msg) if msg.contains("malformed request body")
+    ));
+    protocol::write_frame(&mut conn, &protocol::encode_request(&Request::Stats)).unwrap();
+    let reply = protocol::read_frame(&mut conn)
+        .unwrap()
+        .expect("stats reply");
+    match protocol::decode_response(&reply).unwrap() {
+        Response::Stats(tallies) => assert_eq!(tallies.errors, 2),
+        other => panic!("expected stats, got {other:?}"),
+    }
+    drop(conn);
+
+    // The daemon shuts down cleanly on request.
+    let mut client = Client::connect_unix(&path).unwrap();
+    assert_eq!(
+        client.call(&Request::Shutdown).unwrap(),
+        Response::ShutdownAck
+    );
+    daemon.join().unwrap().unwrap();
+    assert!(!path.exists(), "socket file is removed on shutdown");
+}
+
+#[test]
+fn warm_start_is_byte_identical_to_the_delayed_governor_run() {
+    const WARM: u64 = 20;
+    let server = Server::new(small_config(), ServeOptions::default());
+    let first = outcome(server.respond(&Request::Simulate(simulate_request(
+        1,
+        System::FixedBlocks(2),
+        WARM,
+    ))));
+    assert!(!first.warm_hit, "first warm request builds the prefix");
+    let second = outcome(server.respond(&Request::Simulate(simulate_request(
+        1,
+        System::FixedBlocks(3),
+        WARM,
+    ))));
+    assert!(
+        second.warm_hit,
+        "second governor resumes from the memoized prefix snapshot"
+    );
+
+    let tallies = server.tallies();
+    assert_eq!(
+        tallies.prefix_runs, 1,
+        "the warm-up was simulated exactly once"
+    );
+    assert_eq!(tallies.warm_hits, 1);
+    assert_eq!(tallies.simulations, 2);
+
+    // The snapshot-resumed run is byte-identical to the same delayed-
+    // governor simulation performed from cycle 0 with no snapshot.
+    let config = small_config();
+    let kernel = kernel_by_name(KERNEL).unwrap().with_seed(1);
+    let options = SimOptions::default();
+    let mut engine = Engine::new(&config, &kernel, options).unwrap();
+    while engine.epoch_index() < WARM {
+        if engine.run_epoch(&mut StaticGovernor).unwrap() == StepEvent::Complete {
+            break;
+        }
+    }
+    let stats = engine.run(&mut FixedBlocksGovernor::new(3)).unwrap();
+    assert_eq!(second.stats_bytes, encode_run_stats(&stats));
+}

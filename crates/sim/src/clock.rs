@@ -7,6 +7,7 @@
 //! effect after a configurable voltage-regulator delay.
 
 use crate::config::{ClockConfig, Femtos, VfLevel};
+use crate::snapshot::{put_vf_level, Reader, SnapshotError, Writer};
 
 /// One clock domain with a retunable VF level.
 #[derive(Debug, Clone)]
@@ -95,6 +96,60 @@ impl DomainClock {
         } else {
             self.pending = Some((target, apply_at));
         }
+    }
+
+    /// Serializes the clock's dynamic state (the `ClockConfig` is not
+    /// written; it is supplied again on decode from the `GpuConfig`).
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        put_vf_level(w, self.level);
+        w.u64(self.next_tick);
+        w.u64(self.cycles);
+        for v in self.cycles_at {
+            w.u64(v);
+        }
+        for v in self.time_at {
+            w.u64(v);
+        }
+        w.u64(self.last_account);
+        match self.pending {
+            None => w.bool(false),
+            Some((level, at)) => {
+                w.bool(true);
+                put_vf_level(w, level);
+                w.u64(at);
+            }
+        }
+    }
+
+    /// Rebuilds a clock from [`DomainClock::encode`] bytes.
+    pub(crate) fn decode(config: ClockConfig, r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let level = r.vf_level()?;
+        let next_tick = r.u64()?;
+        let cycles = r.u64()?;
+        let mut cycles_at = [0u64; 3];
+        for v in &mut cycles_at {
+            *v = r.u64()?;
+        }
+        let mut time_at = [0 as Femtos; 3];
+        for v in &mut time_at {
+            *v = r.u64()?;
+        }
+        let last_account = r.u64()?;
+        let pending = if r.bool()? {
+            Some((r.vf_level()?, r.u64()?))
+        } else {
+            None
+        };
+        Ok(Self {
+            config,
+            level,
+            next_tick,
+            cycles,
+            cycles_at,
+            time_at,
+            last_account,
+            pending,
+        })
     }
 
     /// Advances the domain by one cycle and returns the tick's completion

@@ -592,6 +592,8 @@ impl<'o> Engine<'o> {
             mem_cycles_at: self.mem_clock.cycles_at(),
             mem_time_at: self.mem_clock.time_at(),
             mem_events: *self.mem.stats(),
+            batched_ticks: self.batched_ticks,
+            epochs_executed: self.epoch_index,
             epochs: self
                 .recorder
                 .as_ref()
@@ -613,6 +615,234 @@ impl<'o> Engine<'o> {
             stats.warp_states.merge(sm.run_counters());
         }
         stats
+    }
+
+    /// Serializes the complete machine state into the versioned snapshot
+    /// byte format (see `DESIGN.md` §11 for the layout).
+    ///
+    /// The snapshot captures everything the engine owns — clock domains,
+    /// every SM, the memory system, the dispatcher, epoch cursors and the
+    /// recorded epoch timeline — so [`Engine::restore`] resumes the run
+    /// bit-identically. Governors live *outside* the engine, so a caller
+    /// resuming a governed run must also restore (or re-derive) its
+    /// governor state; warm-starting a config sweep exploits exactly that
+    /// split by snapshotting a shared prefix and diverging governors
+    /// afterwards.
+    ///
+    /// Snapshots may be taken at any step boundary, but epoch boundaries
+    /// are the natural point: the governor has just been consulted, so a
+    /// stateless governor needs nothing re-derived. Attached observers
+    /// are not serialized (they are borrowed instrumentation, not machine
+    /// state).
+    pub fn snapshot(&self) -> Vec<u8> {
+        use crate::snapshot::{
+            machine_fingerprint, put_epoch_record, Writer, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+        };
+        let mut w = Writer::new();
+        w.u32(SNAPSHOT_MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        w.u64(machine_fingerprint(
+            &self.config,
+            &self.kernel,
+            &self.options,
+        ));
+
+        w.u8(match self.phase {
+            Phase::StartInvocation => 0,
+            Phase::Running => 1,
+            Phase::Complete => 2,
+        });
+        w.usize(self.inv_idx);
+        w.u64(self.inv_start_cycles);
+        w.u64(self.inv_start_fs);
+        w.u64(self.epoch_index);
+        w.u64(self.last_epoch_cycle);
+        w.u64(self.next_epoch_fs);
+        w.u64(self.sm_steps);
+        w.u64(self.batched_ticks);
+        w.u64(self.now);
+
+        w.usize(self.sm_clocks.len());
+        for clock in &self.sm_clocks {
+            clock.encode(&mut w);
+        }
+        self.mem_clock.encode(&mut w);
+        self.gwde.encode(&mut w);
+        self.mem.encode(&mut w);
+
+        w.usize(self.pool.num_sms());
+        for i in 0..self.pool.num_sms() {
+            self.pool.sm_ref(i).encode_state(&mut w);
+        }
+
+        w.usize(self.invocations.len());
+        for inv in &self.invocations {
+            w.usize(inv.index);
+            w.u64(inv.sm_cycles);
+            w.u64(inv.wall_fs);
+        }
+
+        w.bool(self.recorder.is_some());
+        if let Some(recorder) = &self.recorder {
+            w.usize(recorder.records().len());
+            for record in recorder.records() {
+                put_epoch_record(&mut w, record);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuilds an engine from [`Engine::snapshot`] bytes, resuming the
+    /// run exactly where the snapshot left off.
+    ///
+    /// `config`, `kernel` and `options` must describe the same simulated
+    /// machine the snapshot was taken on; the header's fingerprint
+    /// enforces that. The wall-clock-only knobs
+    /// ([`SimOptions::threads`], [`SimOptions::max_batch_ticks`]) are
+    /// excluded from the fingerprint, so a snapshot taken on a serial
+    /// run restores onto a parallel engine (and vice versa) — results
+    /// stay bit-identical because the SM partition is a pure function of
+    /// the SM index.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](crate::snapshot::SnapshotError) when
+    /// the bytes are malformed (bad magic, unsupported version,
+    /// truncated or corrupt payload, trailing bytes) or describe a
+    /// different machine than `config`/`kernel`/`options` build.
+    pub fn restore(
+        config: &GpuConfig,
+        kernel: &KernelSpec,
+        options: SimOptions,
+        bytes: &[u8],
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::{
+            get_epoch_record, machine_fingerprint, Reader, SnapshotError, SNAPSHOT_MAGIC,
+            SNAPSHOT_VERSION,
+        };
+        let mut r = Reader::new(bytes);
+        if r.u32()? != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let expected = machine_fingerprint(config, kernel, &options);
+        let found = r.u64()?;
+        if found != expected {
+            return Err(SnapshotError::MachineMismatch { expected, found });
+        }
+
+        let mut engine = Engine::new(config, kernel, options).map_err(|e| match e {
+            SimError::InvalidConfig(msg) => SnapshotError::InvalidConfig(msg),
+            other => SnapshotError::InvalidConfig(other.to_string()),
+        })?;
+
+        let at = r.offset();
+        engine.phase = match r.u8()? {
+            0 => Phase::StartInvocation,
+            1 => Phase::Running,
+            2 => Phase::Complete,
+            _ => {
+                return Err(SnapshotError::Corrupt {
+                    offset: at,
+                    what: "invalid engine phase tag",
+                })
+            }
+        };
+        let at = r.offset();
+        engine.inv_idx = r.usize()?;
+        let inv_count = kernel.invocations().len();
+        let in_range = match engine.phase {
+            Phase::Running => engine.inv_idx < inv_count,
+            _ => engine.inv_idx <= inv_count,
+        };
+        if !in_range {
+            return Err(SnapshotError::Corrupt {
+                offset: at,
+                what: "invocation cursor beyond the kernel's invocations",
+            });
+        }
+        engine.inv_start_cycles = r.u64()?;
+        engine.inv_start_fs = r.u64()?;
+        engine.epoch_index = r.u64()?;
+        engine.last_epoch_cycle = r.u64()?;
+        engine.next_epoch_fs = r.u64()?;
+        engine.sm_steps = r.u64()?;
+        engine.batched_ticks = r.u64()?;
+        engine.now = r.u64()?;
+
+        let at = r.offset();
+        if r.seq_len(11)? != engine.sm_clocks.len() {
+            return Err(SnapshotError::Corrupt {
+                offset: at,
+                what: "SM clock count differs from machine",
+            });
+        }
+        for clock in &mut engine.sm_clocks {
+            *clock = DomainClock::decode(config.sm_clock, &mut r)?;
+        }
+        engine.mem_clock = DomainClock::decode(config.mem_clock, &mut r)?;
+        engine.gwde = Gwde::decode(&mut r)?;
+        engine.mem = MemSystem::decode(config, &mut r)?;
+
+        let at = r.offset();
+        if r.seq_len(16)? != engine.pool.num_sms() {
+            return Err(SnapshotError::Corrupt {
+                offset: at,
+                what: "SM count differs from machine",
+            });
+        }
+        // SMs hold the running invocation's program while an invocation
+        // is live, and keep the previous one's across the retirement gap
+        // (`begin_invocation` swaps it in). Resolve the Arc the engine
+        // phase implies; `decode_state` rejects bytes that disagree.
+        let program = match engine.phase {
+            Phase::StartInvocation if engine.inv_idx == 0 => None,
+            Phase::Running => kernel
+                .invocations()
+                .get(engine.inv_idx)
+                .map(|inv| inv.program.clone()),
+            _ => kernel
+                .invocations()
+                .get(engine.inv_idx.wrapping_sub(1))
+                .map(|inv| inv.program.clone()),
+        };
+        for i in 0..engine.pool.num_sms() {
+            engine
+                .pool
+                .sm_mut(i)
+                .decode_state(&mut r, program.clone())?;
+        }
+
+        let n = r.seq_len(24)?;
+        engine.invocations = Vec::with_capacity(n);
+        for _ in 0..n {
+            engine.invocations.push(InvocationStats {
+                index: r.usize()?,
+                sm_cycles: r.u64()?,
+                wall_fs: r.u64()?,
+            });
+        }
+
+        let at = r.offset();
+        let recorded = r.bool()?;
+        if recorded != engine.recorder.is_some() {
+            return Err(SnapshotError::Corrupt {
+                offset: at,
+                what: "recorder presence disagrees with options",
+            });
+        }
+        if let Some(recorder) = &mut engine.recorder {
+            let n = r.seq_len(32)?;
+            recorder.records = Vec::with_capacity(n);
+            for _ in 0..n {
+                recorder.records.push(get_epoch_record(&mut r)?);
+            }
+        }
+        r.finish()?;
+        Ok(engine)
     }
 
     fn begin_invocation(&mut self, governor: &mut dyn Governor) {

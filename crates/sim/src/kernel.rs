@@ -157,6 +157,46 @@ impl KernelSpec {
             .max(1)
     }
 
+    /// Folds the kernel's complete identity — name, seed, shape, and
+    /// every instruction of every invocation's program — into `fold`.
+    ///
+    /// The exhaustive destructuring (no `..` rest pattern) is a
+    /// compile-time guard: a new `KernelSpec` field cannot ship without
+    /// a decision on whether it is identity-bearing. Used by the
+    /// snapshot machine fingerprint and the serving layer's
+    /// content-addressed cache key.
+    pub fn fold_identity(&self, fold: &mut crate::snapshot::Fold) {
+        let KernelSpec {
+            name,
+            category,
+            warps_per_block,
+            max_blocks_per_sm,
+            time_fraction,
+            invocations,
+            seed,
+        } = self;
+        fold.add_bytes(name.as_bytes());
+        fold.add(match category {
+            KernelCategory::Compute => 0,
+            KernelCategory::Memory => 1,
+            KernelCategory::Cache => 2,
+            KernelCategory::Unsaturated => 3,
+        });
+        fold.add(*warps_per_block as u64);
+        fold.add(*max_blocks_per_sm as u64);
+        fold.add_f64(*time_fraction);
+        fold.add(*seed);
+        fold.add(invocations.len() as u64);
+        for inv in invocations {
+            let Invocation {
+                grid_blocks,
+                program,
+            } = inv;
+            fold.add(*grid_blocks);
+            crate::program::fold_program_identity(fold, program);
+        }
+    }
+
     /// Total dynamic warp-instructions across all invocations (nominal
     /// iteration counts; excludes imbalance multipliers).
     pub fn total_warp_instrs(&self) -> u64 {

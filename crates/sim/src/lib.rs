@@ -83,6 +83,7 @@ pub mod memsys;
 mod pool;
 pub mod program;
 pub mod sm;
+pub mod snapshot;
 pub mod stats;
 pub mod util;
 pub mod warp;

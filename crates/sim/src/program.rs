@@ -391,6 +391,161 @@ impl AddressGen {
         let _ = &self.rng; // reserved for future stochastic patterns
         line * self.line_bytes
     }
+
+    /// The RNG cursor, for snapshot serialization. [`AddressGen::new`]
+    /// with this value as the seed reproduces the generator exactly.
+    pub(crate) fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+}
+
+/// Folds the program's complete identity (every instruction, iteration
+/// count and the imbalance profile) into `fold`. The exhaustive matches
+/// and destructurings are the compile-time guard: new IR variants or
+/// fields cannot ship without being folded in.
+pub(crate) fn fold_program_identity(fold: &mut crate::snapshot::Fold, program: &Program) {
+    // mem_dist / first_mem are pure functions of the segments, so the
+    // segments alone carry the identity.
+    let Program {
+        segments,
+        iter_profile,
+        mem_dist: _,
+        first_mem: _,
+    } = program;
+    fold.add(segments.len() as u64);
+    for seg in segments {
+        let Segment { body, iterations } = seg;
+        fold.add(u64::from(*iterations));
+        fold.add(body.len() as u64);
+        for instr in body {
+            match instr {
+                Instr::Alu { dep } => {
+                    fold.add(1);
+                    fold.add(u64::from(*dep));
+                }
+                Instr::Mem(MemInstr {
+                    is_load,
+                    pattern,
+                    accesses,
+                    space,
+                }) => {
+                    fold.add(2);
+                    fold.add(u64::from(*is_load));
+                    match pattern {
+                        AddressPattern::Streaming => fold.add(0),
+                        AddressPattern::WorkingSet { lines } => {
+                            fold.add(1);
+                            fold.add(u64::from(*lines));
+                        }
+                        AddressPattern::Shared { lines } => {
+                            fold.add(2);
+                            fold.add(u64::from(*lines));
+                        }
+                    }
+                    fold.add(u64::from(*accesses));
+                    match space {
+                        MemSpace::Global => fold.add(0),
+                        MemSpace::Texture => fold.add(1),
+                    }
+                }
+                Instr::Sync => fold.add(3),
+            }
+        }
+    }
+    match iter_profile {
+        IterProfile::Uniform => fold.add(0),
+        IterProfile::LongTail {
+            long_blocks,
+            multiplier,
+        } => {
+            fold.add(1);
+            fold.add(u64::from(*long_blocks));
+            fold.add(u64::from(multiplier.to_bits()));
+        }
+    }
+}
+
+pub(crate) fn put_prog_counter(w: &mut crate::snapshot::Writer, pc: &ProgCounter) {
+    let ProgCounter {
+        segment,
+        iteration,
+        instr,
+    } = pc;
+    w.usize(*segment);
+    w.u32(*iteration);
+    w.usize(*instr);
+}
+
+pub(crate) fn get_prog_counter(
+    r: &mut crate::snapshot::Reader<'_>,
+) -> Result<ProgCounter, crate::snapshot::SnapshotError> {
+    Ok(ProgCounter {
+        segment: r.usize()?,
+        iteration: r.u32()?,
+        instr: r.usize()?,
+    })
+}
+
+pub(crate) fn put_mem_instr(w: &mut crate::snapshot::Writer, m: &MemInstr) {
+    let MemInstr {
+        is_load,
+        pattern,
+        accesses,
+        space,
+    } = m;
+    w.bool(*is_load);
+    match pattern {
+        AddressPattern::Streaming => w.u8(0),
+        AddressPattern::WorkingSet { lines } => {
+            w.u8(1);
+            w.u32(*lines);
+        }
+        AddressPattern::Shared { lines } => {
+            w.u8(2);
+            w.u32(*lines);
+        }
+    }
+    w.u8(*accesses);
+    w.u8(match space {
+        MemSpace::Global => 0,
+        MemSpace::Texture => 1,
+    });
+}
+
+pub(crate) fn get_mem_instr(
+    r: &mut crate::snapshot::Reader<'_>,
+) -> Result<MemInstr, crate::snapshot::SnapshotError> {
+    let is_load = r.bool()?;
+    let at = r.offset();
+    let pattern = match r.u8()? {
+        0 => AddressPattern::Streaming,
+        1 => AddressPattern::WorkingSet { lines: r.u32()? },
+        2 => AddressPattern::Shared { lines: r.u32()? },
+        _ => {
+            return Err(crate::snapshot::SnapshotError::Corrupt {
+                offset: at,
+                what: "address pattern",
+            })
+        }
+    };
+    let accesses = r.u8()?;
+    let at = r.offset();
+    let space = match r.u8()? {
+        0 => MemSpace::Global,
+        1 => MemSpace::Texture,
+        _ => {
+            return Err(crate::snapshot::SnapshotError::Corrupt {
+                offset: at,
+                what: "memory space",
+            })
+        }
+    };
+    Ok(MemInstr {
+        is_load,
+        pattern,
+        accesses,
+        space,
+    })
 }
 
 #[cfg(test)]

@@ -440,6 +440,309 @@ impl Sm {
         horizon
     }
 
+    /// Serializes the SM's dynamic state (warps, blocks, LD/ST queue,
+    /// MSHRs, L1, CCWS, counters). Configuration copies are not written —
+    /// decode runs on an SM freshly built from the same `GpuConfig`.
+    ///
+    /// Canonical forms: the MSHR `BTreeMap` iterates in key order and the
+    /// local-hit heap is written as a sorted list, so two bit-identical
+    /// machines encode to bit-identical bytes. The scheduler order cache
+    /// (`sched_order`) is skipped entirely — it is a pure function of the
+    /// resident blocks and is rebuilt on first use after decode.
+    pub(crate) fn encode_state(&self, w: &mut crate::snapshot::Writer) {
+        w.usize(self.w_cta);
+        w.usize(self.resident_limit);
+        w.bool(self.program.is_some());
+        w.usize(self.warps.len());
+        for slot in &self.warps {
+            match slot {
+                None => w.bool(false),
+                Some(warp) => {
+                    w.bool(true);
+                    crate::warp::put_warp(w, warp);
+                }
+            }
+        }
+        w.usize(self.blocks.len());
+        for slot in &self.blocks {
+            match slot {
+                None => w.bool(false),
+                Some(b) => {
+                    let BlockState {
+                        block_index,
+                        warp_slots,
+                        paused,
+                        launch_seq,
+                    } = b;
+                    w.bool(true);
+                    w.u64(*block_index);
+                    w.usize(warp_slots.len());
+                    for &s in warp_slots {
+                        w.usize(s);
+                    }
+                    w.bool(*paused);
+                    w.u64(*launch_seq);
+                }
+            }
+        }
+        w.u64(self.launch_seq);
+        w.usize(self.lsu.len());
+        for e in &self.lsu {
+            let LsuEntry {
+                warp_slot,
+                warp_uid,
+                instr,
+                mem_counter,
+                next_access,
+            } = e;
+            w.usize(*warp_slot);
+            w.u64(*warp_uid);
+            crate::program::put_mem_instr(w, instr);
+            w.u64(*mem_counter);
+            w.u32(*next_access);
+        }
+        self.l1.encode(w);
+        w.usize(self.mshr.len());
+        for (line, waiters) in &self.mshr {
+            w.u64(*line);
+            w.usize(waiters.len());
+            for &s in waiters {
+                w.usize(s);
+            }
+        }
+        let mut local: Vec<(Femtos, usize)> =
+            self.local_ready.iter().map(|Reverse(pair)| *pair).collect();
+        local.sort_unstable();
+        w.usize(local.len());
+        for (ready, slot) in local {
+            w.u64(ready);
+            w.usize(slot);
+        }
+        w.u64(self.addr_gen.rng_state());
+        w.usize(self.target_blocks);
+        w.u64(self.cycles);
+        crate::counters::put_cycle_snapshot(w, &self.snapshot);
+        crate::counters::put_warp_state_counters(w, &self.epoch);
+        crate::counters::put_warp_state_counters(w, &self.run_total);
+        for e in &self.events {
+            put_sm_events(w, e);
+        }
+        w.usize(self.inbox.len());
+        for &t in &self.inbox {
+            w.u64(t);
+        }
+        match &self.pending {
+            None => w.bool(false),
+            Some(PendingAccess {
+                line,
+                addr,
+                is_load,
+                texture,
+                warp_slot,
+            }) => {
+                w.bool(true);
+                w.u64(*line);
+                w.u64(*addr);
+                w.bool(*is_load);
+                w.bool(*texture);
+                w.usize(*warp_slot);
+            }
+        }
+        w.usize(self.completed_scratch.len());
+        for &s in &self.completed_scratch {
+            w.usize(s);
+        }
+        match &self.ccws {
+            None => w.bool(false),
+            Some(c) => {
+                w.bool(true);
+                c.encode(w);
+            }
+        }
+        w.u64(self.blocks_completed);
+    }
+
+    /// Restores the dynamic state written by [`Sm::encode_state`] into
+    /// this freshly constructed SM. `program` is the invocation program
+    /// resolved by the engine (the snapshot records only its presence).
+    pub(crate) fn decode_state(
+        &mut self,
+        r: &mut crate::snapshot::Reader<'_>,
+        program: Option<Arc<Program>>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let corrupt = |offset: usize, what: &'static str| SnapshotError::Corrupt { offset, what };
+        self.w_cta = r.usize()?;
+        self.resident_limit = r.usize()?;
+        let at = r.offset();
+        let has_program = r.bool()?;
+        if has_program != program.is_some() {
+            return Err(corrupt(at, "program presence disagrees with engine phase"));
+        }
+        self.program = program;
+        let at = r.offset();
+        if r.seq_len(1)? != self.warps.len() {
+            return Err(corrupt(at, "warp slot count differs from machine"));
+        }
+        let (num_warps, num_blocks) = (self.warps.len(), self.blocks.len());
+        for slot in &mut self.warps {
+            *slot = if r.bool()? {
+                let at = r.offset();
+                let warp = crate::warp::get_warp(r)?;
+                if warp.slot >= num_warps || warp.block_slot >= num_blocks {
+                    return Err(corrupt(at, "warp references out-of-range slot"));
+                }
+                Some(warp)
+            } else {
+                None
+            };
+        }
+        let at = r.offset();
+        if r.seq_len(1)? != self.blocks.len() {
+            return Err(corrupt(at, "block slot count differs from machine"));
+        }
+        let max_warps = self.warps.len();
+        for slot in &mut self.blocks {
+            *slot = if r.bool()? {
+                let block_index = r.u64()?;
+                let at = r.offset();
+                let n = r.seq_len(8)?;
+                if n > max_warps {
+                    return Err(corrupt(at, "block claims more warp slots than exist"));
+                }
+                let mut warp_slots = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let at = r.offset();
+                    let s = r.usize()?;
+                    if s >= max_warps {
+                        return Err(corrupt(at, "block references out-of-range warp slot"));
+                    }
+                    warp_slots.push(s);
+                }
+                Some(BlockState {
+                    block_index,
+                    warp_slots,
+                    paused: r.bool()?,
+                    launch_seq: r.u64()?,
+                })
+            } else {
+                None
+            };
+        }
+        self.launch_seq = r.u64()?;
+        // The cached scheduler order is not serialized; rebuild lazily.
+        self.order_dirty = true;
+        let at = r.offset();
+        let n = r.seq_len(30)?;
+        if n > self.lsu_cap {
+            return Err(corrupt(at, "LD/ST queue overflows its capacity"));
+        }
+        self.lsu.clear();
+        for _ in 0..n {
+            let at = r.offset();
+            let warp_slot = r.usize()?;
+            if warp_slot >= max_warps {
+                return Err(corrupt(at, "LD/ST entry references out-of-range warp slot"));
+            }
+            self.lsu.push_back(LsuEntry {
+                warp_slot,
+                warp_uid: r.u64()?,
+                instr: crate::program::get_mem_instr(r)?,
+                mem_counter: r.u64()?,
+                next_access: r.u32()?,
+            });
+        }
+        self.l1 = Cache::decode(*self.l1.config(), r)?;
+        let at = r.offset();
+        let n = r.seq_len(16)?;
+        if n > self.mshr_cap {
+            return Err(corrupt(at, "MSHR count overflows its capacity"));
+        }
+        self.mshr.clear();
+        for _ in 0..n {
+            let line = r.u64()?;
+            let m = r.seq_len(8)?;
+            let mut waiters = Vec::with_capacity(m);
+            for _ in 0..m {
+                let at = r.offset();
+                let s = r.usize()?;
+                if s >= max_warps {
+                    return Err(corrupt(at, "MSHR waiter references out-of-range warp slot"));
+                }
+                waiters.push(s);
+            }
+            self.mshr.insert(line, waiters);
+        }
+        self.local_ready.clear();
+        let n = r.seq_len(16)?;
+        for _ in 0..n {
+            let ready = r.u64()?;
+            let at = r.offset();
+            let slot = r.usize()?;
+            if slot >= max_warps {
+                return Err(corrupt(
+                    at,
+                    "local-hit entry references out-of-range warp slot",
+                ));
+            }
+            self.local_ready.push(Reverse((ready, slot)));
+        }
+        self.addr_gen = AddressGen::new(self.l1.config().line_bytes, r.u64()?);
+        self.target_blocks = r.usize()?;
+        self.cycles = r.u64()?;
+        self.snapshot = crate::counters::get_cycle_snapshot(r)?;
+        self.epoch = crate::counters::get_warp_state_counters(r)?;
+        self.run_total = crate::counters::get_warp_state_counters(r)?;
+        for e in &mut self.events {
+            *e = get_sm_events(r)?;
+        }
+        let n = r.seq_len(8)?;
+        self.inbox.clear();
+        for _ in 0..n {
+            self.inbox.push(r.u64()?);
+        }
+        self.pending = if r.bool()? {
+            let line = r.u64()?;
+            let addr = r.u64()?;
+            let is_load = r.bool()?;
+            let texture = r.bool()?;
+            let at = r.offset();
+            let warp_slot = r.usize()?;
+            if warp_slot >= max_warps {
+                return Err(corrupt(
+                    at,
+                    "pending access references out-of-range warp slot",
+                ));
+            }
+            Some(PendingAccess {
+                line,
+                addr,
+                is_load,
+                texture,
+                warp_slot,
+            })
+        } else {
+            None
+        };
+        let n = r.seq_len(8)?;
+        self.completed_scratch.clear();
+        for _ in 0..n {
+            self.completed_scratch.push(r.usize()?);
+        }
+        let at = r.offset();
+        let has_ccws = r.bool()?;
+        match (&mut self.ccws, has_ccws) {
+            (Some(state), true) => {
+                let config = *state.config();
+                *state = CcwsState::decode(config, max_warps, r)?;
+            }
+            (None, false) => {}
+            _ => return Err(corrupt(at, "CCWS presence disagrees with configuration")),
+        }
+        self.blocks_completed = r.u64()?;
+        Ok(())
+    }
+
     /// Sanitizer hook (`validate` feature): asserts that the SM holds no
     /// in-flight memory state. Called at kernel-invocation completion —
     /// an MSHR entry, queued LSU access or pending local hit surviving
@@ -483,6 +786,36 @@ impl Sm {
             self.id
         );
     }
+}
+
+pub(crate) fn put_sm_events(w: &mut crate::snapshot::Writer, e: &SmLevelEvents) {
+    let SmLevelEvents {
+        issued,
+        alu_ops,
+        mem_instrs,
+        l1_accesses,
+        l1_hits,
+        busy_cycles,
+    } = e;
+    w.u64(*issued);
+    w.u64(*alu_ops);
+    w.u64(*mem_instrs);
+    w.u64(*l1_accesses);
+    w.u64(*l1_hits);
+    w.u64(*busy_cycles);
+}
+
+pub(crate) fn get_sm_events(
+    r: &mut crate::snapshot::Reader<'_>,
+) -> Result<SmLevelEvents, crate::snapshot::SnapshotError> {
+    Ok(SmLevelEvents {
+        issued: r.u64()?,
+        alu_ops: r.u64()?,
+        mem_instrs: r.u64()?,
+        l1_accesses: r.u64()?,
+        l1_hits: r.u64()?,
+        busy_cycles: r.u64()?,
+    })
 }
 
 #[cfg(test)]

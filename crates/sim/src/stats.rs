@@ -47,7 +47,11 @@ pub struct InvocationStats {
 /// Equality is field-wise and exact, which is meaningful because the
 /// simulator is deterministic: two runs of the same configuration must
 /// compare equal, and an attached observer must not change the result.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// The one exception is [`RunStats::batched_ticks`]: it is a wall-clock
+/// diagnostic (how often the tick-batching fast path engaged) that
+/// legitimately varies with `SimOptions::max_batch_ticks`, so the manual
+/// [`PartialEq`] below excludes it.
+#[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// Total simulated wall time.
     pub wall_time_fs: Femtos,
@@ -67,10 +71,53 @@ pub struct RunStats {
     pub mem_events: [MemLevelStats; 3],
     /// Whole-run warp-state counters summed over SMs (Figure 4).
     pub warp_states: WarpStateCounters,
+    /// SM ticks executed inside provably interaction-free batched
+    /// windows (see `Engine::batched_ticks`). Divide by total SM cycles
+    /// (`sm_cycles_at` summed × `num_sms`) for the batch-window hit
+    /// rate. Diagnostic only: varies with `SimOptions::max_batch_ticks`
+    /// and is excluded from equality.
+    pub batched_ticks: u64,
+    /// Epochs the engine executed, whether or not they were recorded
+    /// into [`RunStats::epochs`] (`record_epochs` may be off).
+    pub epochs_executed: u64,
     /// Per-epoch timeline.
     pub epochs: Vec<EpochRecord>,
     /// Per-invocation timing.
     pub invocations: Vec<InvocationStats>,
+}
+
+impl PartialEq for RunStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Exhaustive destructuring: a new field cannot ship without a
+        // decision on whether it participates in equality.
+        let RunStats {
+            wall_time_fs,
+            num_sms,
+            sm_cycles_at,
+            sm_time_at,
+            mem_cycles_at,
+            mem_time_at,
+            sm_events,
+            mem_events,
+            warp_states,
+            batched_ticks: _, // wall-clock diagnostic, see struct docs
+            epochs_executed,
+            epochs,
+            invocations,
+        } = self;
+        *wall_time_fs == other.wall_time_fs
+            && *num_sms == other.num_sms
+            && *sm_cycles_at == other.sm_cycles_at
+            && *sm_time_at == other.sm_time_at
+            && *mem_cycles_at == other.mem_cycles_at
+            && *mem_time_at == other.mem_time_at
+            && *sm_events == other.sm_events
+            && *mem_events == other.mem_events
+            && *warp_states == other.warp_states
+            && *epochs_executed == other.epochs_executed
+            && *epochs == other.epochs
+            && *invocations == other.invocations
+    }
 }
 
 impl RunStats {

@@ -29,6 +29,13 @@ impl SplitMix64 {
         Self { state: seed }
     }
 
+    /// The raw generator state, for snapshot serialization. Feeding it
+    /// back through [`SplitMix64::new`] reproduces this generator
+    /// exactly (the constructor stores the seed as the state verbatim).
+    pub(crate) fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Returns the next pseudo-random `u64`.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -696,9 +696,16 @@ pub fn classify(rel: &Path) -> FileContext {
         // (hygiene rules only).
         _ => CodeKind::Bin,
     };
+    // The harness is not globally strict (figure sweeps legitimately
+    // use wall clocks and std hash maps), but its serving layer is: a
+    // wall-clock read feeding the content-addressed ConfigHash, or an
+    // iteration-order-dependent map in the cache, would silently break
+    // result memoization. The banned-token rules enforce that.
+    let serve_layer =
+        crate_name == "harness" && rest.first() == Some(&"src") && rest.get(1) == Some(&"serve");
     FileContext {
-        strict: STRICT_CRATES.contains(&crate_name),
-        docs_required: DOCS_CRATES.contains(&crate_name),
+        strict: STRICT_CRATES.contains(&crate_name) || serve_layer,
+        docs_required: DOCS_CRATES.contains(&crate_name) || serve_layer,
         kind,
     }
 }
@@ -1173,6 +1180,34 @@ fn route(_x: u32, _g: &mut Gwde) -> Vec<u32> {
             assert_eq!(ctx.kind, CodeKind::Lib, "{path} is library code");
             assert!(ctx.strict && ctx.docs_required, "{path} keeps sim rules");
         }
+    }
+
+    #[test]
+    fn classify_makes_the_harness_serve_layer_strict() {
+        // The harness is lax in general (figure sweeps may use wall
+        // clocks and std hash maps)…
+        let sweep = classify(Path::new("crates/harness/src/experiment.rs"));
+        assert!(!sweep.strict && !sweep.docs_required);
+        // …but its serving layer carries the determinism rules: no
+        // wall-clock reads can feed the ConfigHash, no hash maps can
+        // order cache eviction.
+        for path in [
+            "crates/harness/src/serve/mod.rs",
+            "crates/harness/src/serve/hash.rs",
+            "crates/harness/src/serve/cache.rs",
+            "crates/harness/src/serve/server.rs",
+            "crates/harness/src/serve/protocol.rs",
+            "crates/harness/src/serve/client.rs",
+        ] {
+            let ctx = classify(Path::new(path));
+            assert_eq!(ctx.kind, CodeKind::Lib, "{path} is library code");
+            assert!(ctx.strict && ctx.docs_required, "{path} is strict");
+        }
+        // The daemon binaries stay Bin (hygiene rules only).
+        assert_eq!(
+            classify(Path::new("crates/harness/src/bin/sim_serve.rs")).kind,
+            CodeKind::Bin
+        );
     }
 
     #[test]

@@ -367,6 +367,25 @@ fn cmd_ci() -> i32 {
         );
     }
 
+    // Serving-layer smoke: spawn the daemon on a unix socket, drive a
+    // duplicate-heavy mix through `sim-load` (which merges `serve/`
+    // rows into `BENCH_sim.json` — this step therefore runs AFTER the
+    // perf_micro bench, which rewrites that file), and gate on at
+    // least one cache hit, a clean shutdown, and the caching/warm-start
+    // speedups the rows claim.
+    println!("==> serve smoke: daemon + duplicate-heavy load");
+    let serve_started = Instant::now();
+    match run_serve_smoke(&workspace_root()) {
+        Ok(msg) => println!(
+            "==> serve smoke: {msg} ({:.1}s)",
+            serve_started.elapsed().as_secs_f64()
+        ),
+        Err(msg) => {
+            eprintln!("==> serve smoke failed: {msg}");
+            return 1;
+        }
+    }
+
     // rustfmt ships with rustup toolchains but not every bare cargo
     // install; a missing formatter should not fail offline CI.
     let fmt_available = Command::new(&cargo)
@@ -430,6 +449,106 @@ fn check_parallel_speedup(path: &Path) -> Result<String, String> {
              on a multi-core host"
         ))
     }
+}
+
+/// Spawns the release `sim-serve` daemon on a scratch unix socket,
+/// drives the default duplicate-heavy `sim-load` mix through it
+/// (merging `serve/` rows into `BENCH_sim.json`), and asserts:
+/// at least one cache hit, a clean daemon shutdown, cached replies
+/// at least 10x faster than cold simulations, and warm-started sweeps
+/// faster than their from-cycle-0 equivalents.
+fn run_serve_smoke(root: &Path) -> Result<String, String> {
+    let sock = root.join("target").join("sim-serve-smoke.sock");
+    let _ = std::fs::remove_file(&sock);
+    let serve_bin = root.join("target").join("release").join("sim-serve");
+    let load_bin = root.join("target").join("release").join("sim-load");
+
+    let mut daemon = Command::new(&serve_bin)
+        .arg("--unix")
+        .arg(&sock)
+        .args(["--workers", "3"])
+        .current_dir(root)
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", serve_bin.display()))?;
+
+    // The daemon binds before printing its readiness line, so the
+    // socket file appearing is the signal that connects will succeed.
+    let mut waited_ms = 0u64;
+    while !sock.exists() {
+        if let Ok(Some(status)) = daemon.try_wait() {
+            return Err(format!("sim-serve exited before binding: {status}"));
+        }
+        if waited_ms >= 10_000 {
+            let _ = daemon.kill();
+            let _ = daemon.wait();
+            return Err("sim-serve never bound its socket".to_string());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        waited_ms += 50;
+    }
+
+    let endpoint = format!("unix:{}", sock.display());
+    let load = Command::new(&load_bin)
+        .args(["--endpoint", &endpoint])
+        .args(["--min-hits", "1"])
+        .args(["--bench", "BENCH_sim.json"])
+        .arg("--shutdown")
+        .current_dir(root)
+        .status();
+    let load = match load {
+        Ok(status) => status,
+        Err(e) => {
+            let _ = daemon.kill();
+            let _ = daemon.wait();
+            return Err(format!("cannot spawn {}: {e}", load_bin.display()));
+        }
+    };
+    if !load.success() {
+        let _ = daemon.kill();
+        let _ = daemon.wait();
+        return Err(format!(
+            "sim-load failed ({load}): no cache hit, or a protocol error"
+        ));
+    }
+
+    // `--shutdown` asked the daemon to exit; a hang here means the
+    // shutdown path regressed, which is exactly what CI should catch.
+    let status = daemon
+        .wait()
+        .map_err(|e| format!("waiting for sim-serve: {e}"))?;
+    if !status.success() {
+        return Err(format!("sim-serve exited with {status}"));
+    }
+
+    let bench = root.join("BENCH_sim.json");
+    let json = std::fs::read_to_string(&bench)
+        .map_err(|e| format!("could not read {}: {e}", bench.display()))?;
+    let row = |name: &str| {
+        bench_mean_ns(&json, name).ok_or_else(|| format!("no {name} row in BENCH_sim.json"))
+    };
+    let cold = row("serve/cold")?;
+    let cached = row("serve/cached")?;
+    let warm_cold = row("serve/warm-cold")?;
+    let warm_start = row("serve/warm-start")?;
+    if cached * 10.0 > cold {
+        return Err(format!(
+            "cached replies are only {:.1}x faster than cold simulation \
+             (mean {cached:.0} ns vs {cold:.0} ns; target 10x)",
+            cold / cached.max(1.0)
+        ));
+    }
+    if warm_start * 1.05 > warm_cold {
+        return Err(format!(
+            "warm-start sweep (mean {warm_start:.0} ns) is not measurably \
+             faster than from-cycle-0 (mean {warm_cold:.0} ns)"
+        ));
+    }
+    Ok(format!(
+        "cached {:.0}x over cold, warm-start {:.2}x over cold sweep, \
+         daemon shut down cleanly",
+        cold / cached.max(1.0),
+        warm_cold / warm_start.max(1.0)
+    ))
 }
 
 #[cfg(test)]

@@ -29,8 +29,11 @@ pub const ANALYZE_RULES: &[&str] = &[
     "float-accum-order",
 ];
 
-/// Crates whose library code forms the analysis universe.
-pub const ANALYZE_CRATES: &[&str] = &["sim", "core", "power", "baselines", "obs"];
+/// Crates whose library code forms the analysis universe. The harness
+/// is included for its serving layer: the lock-order rule must see the
+/// server's mutex/condvar usage to prove no lock is reachable from the
+/// simulator's stepping hot path.
+pub const ANALYZE_CRATES: &[&str] = &["sim", "core", "power", "baselines", "obs", "harness"];
 
 /// How bad a finding is: errors gate CI, warnings are advisory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

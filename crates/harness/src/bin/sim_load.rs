@@ -12,12 +12,19 @@
 //! * `serve/warm-start` — the same governor sweep resuming from a
 //!   memoized prefix snapshot, simulating only the remainder.
 //!
-//! `-p99` rows carry the 99th percentile of the same sample sets.
+//! `-p99` rows carry the 99th percentile of the same sample sets, and
+//! every `serve/` row also embeds the client-observed latency histogram
+//! (`hist_count` / `hist_buckets`, bucketed by the wire's
+//! `LATENCY_BOUNDS_NS`) as extra keys — older consumers that only read
+//! `mean_ns` keep working. `--stats` additionally renders the daemon's
+//! own telemetry (tallies plus per-phase latency histograms) through
+//! the `equalizer_obs` summary exporter.
 //!
 //! ```text
 //! sim-load --endpoint EP [--workload NAME] [--sms N] [--cold N]
 //!          [--hot N] [--warm-governors N] [--warm-epochs N]
-//!          [--connections N] [--bench PATH] [--min-hits N] [--shutdown]
+//!          [--connections N] [--bench PATH] [--min-hits N] [--stats]
+//!          [--shutdown]
 //! ```
 
 use std::env;
@@ -29,13 +36,15 @@ use std::sync::mpsc;
 use std::time::Instant;
 
 use equalizer_core::Mode;
-use equalizer_harness::serve::{Client, Request, Response, ServerStats, SimulateRequest};
+use equalizer_harness::serve::{
+    expose, Client, LatencyHistogram, Request, Response, ServerStats, SimulateRequest,
+};
 use equalizer_harness::System;
 use equalizer_sim::gpu::SimOptions;
 
 const USAGE: &str = "usage: sim-load --endpoint EP [--workload NAME] [--sms N] \
                      [--cold N] [--hot N] [--warm-governors N] [--warm-epochs N] \
-                     [--connections N] [--bench PATH] [--min-hits N] [--shutdown]";
+                     [--connections N] [--bench PATH] [--min-hits N] [--stats] [--shutdown]";
 
 struct Options {
     endpoint: String,
@@ -48,6 +57,7 @@ struct Options {
     connections: usize,
     bench: Option<PathBuf>,
     min_hits: u64,
+    stats: bool,
     shutdown: bool,
 }
 
@@ -66,6 +76,7 @@ impl Default for Options {
             connections: 3,
             bench: None,
             min_hits: 0,
+            stats: false,
             shutdown: false,
         }
     }
@@ -95,6 +106,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--connections" => opts.connections = number(arg, value(arg)?)?.max(1),
             "--bench" => opts.bench = Some(PathBuf::from(value(arg)?)),
             "--min-hits" => opts.min_hits = number(arg, value(arg)?)? as u64,
+            "--stats" => opts.stats = true,
             "--shutdown" => opts.shutdown = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
@@ -127,13 +139,15 @@ struct Sample {
     warm_hit: bool,
 }
 
-/// One `BENCH_sim.json` row.
+/// One `BENCH_sim.json` row, with the client-observed latency
+/// histogram riding along as backward-compatible extra keys.
 struct Row {
     name: String,
     min_ns: u128,
     median_ns: u128,
     mean_ns: u128,
     samples: u32,
+    hist: LatencyHistogram,
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -243,6 +257,7 @@ fn run(args: &[String]) -> Result<(), String> {
                         median_ns: p99,
                         mean_ns: p99,
                         samples: samples.len() as u32,
+                        hist: row.hist,
                     });
                 }
             }
@@ -272,18 +287,27 @@ fn run(args: &[String]) -> Result<(), String> {
     // --- server-side tallies; the CI smoke gates on these.
     let mut client =
         Client::connect(&opts.endpoint).map_err(|e| format!("connect for stats: {e}"))?;
-    let tallies = match client.call(&Request::Stats) {
-        Ok(Response::Stats(t)) => t,
+    let reply = match client.call(&Request::Stats) {
+        Ok(Response::Stats(reply)) => reply,
         Ok(other) => return Err(format!("stats request got unexpected reply {other:?}")),
         Err(e) => return Err(format!("stats request failed: {e}")),
     };
-    print_tallies(&tallies);
-    let hits = tallies.cache_hits + tallies.coalesced;
+    print_tallies(&reply.tallies);
+    let hits = reply.tallies.cache_hits + reply.tallies.coalesced;
     if hits < opts.min_hits {
         return Err(format!(
             "expected at least {} cache hit(s), server saw {hits}",
             opts.min_hits
         ));
+    }
+    if opts.stats {
+        for (name, hist) in reply.phases.named() {
+            if !hist.coherent() {
+                return Err(format!("phase histogram {name} is incoherent"));
+            }
+        }
+        let registry = expose::stats_registry(&reply).map_err(|e| format!("stats render: {e}"))?;
+        print!("{}", equalizer_obs::summary::summary(&registry));
     }
 
     if let Some(path) = &opts.bench {
@@ -366,12 +390,17 @@ fn summarize(name: &str, samples: &[Sample]) -> Option<Row> {
     }
     let mut times: Vec<u128> = samples.iter().map(|s| s.latency_ns).collect();
     times.sort_unstable();
+    let mut hist = LatencyHistogram::default();
+    for t in &times {
+        hist.record(u64::try_from(*t).unwrap_or(u64::MAX));
+    }
     Some(Row {
         name: name.to_string(),
         min_ns: times[0],
         median_ns: times[times.len() / 2],
         mean_ns: times.iter().sum::<u128>() / times.len() as u128,
         samples: times.len() as u32,
+        hist,
     })
 }
 
@@ -402,7 +431,9 @@ fn print_tallies(t: &ServerStats) {
 
 /// Merges `rows` into the `BENCH_sim.json` array at `path`: existing
 /// non-`serve/` rows are kept (the perf benches own them), existing
-/// `serve/` rows are replaced.
+/// `serve/` rows are replaced. Serve rows carry the latency histogram
+/// as extra keys after the classic five, so readers that only scan
+/// `"mean_ns":` per line are unaffected.
 fn merge_bench(path: &Path, rows: &[Row]) -> Result<(), String> {
     let mut entries: Vec<String> = Vec::new();
     if let Ok(existing) = fs::read_to_string(path) {
@@ -414,10 +445,17 @@ fn merge_bench(path: &Path, rows: &[Row]) -> Result<(), String> {
         }
     }
     for row in rows {
+        let buckets: Vec<String> = row.hist.buckets.iter().map(u64::to_string).collect();
         entries.push(format!(
             "{{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \
-             \"samples\": {}}}",
-            row.name, row.min_ns, row.median_ns, row.mean_ns, row.samples
+             \"samples\": {}, \"hist_count\": {}, \"hist_buckets\": [{}]}}",
+            row.name,
+            row.min_ns,
+            row.median_ns,
+            row.mean_ns,
+            row.samples,
+            row.hist.count,
+            buckets.join(", ")
         ));
     }
     let mut out = String::from("[\n");

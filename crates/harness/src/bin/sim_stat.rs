@@ -1,0 +1,175 @@
+//! `sim-stat` — query a live `sim-serve` daemon's telemetry and render
+//! it through the `equalizer_obs` exposition stack.
+//!
+//! One `Stats` frame fetches the daemon's monotonic tallies (requests,
+//! cache hits, coalesced joins, evictions, …) and its per-request phase
+//! latency histograms (queue wait, cache lookup, simulate, encode,
+//! write). The reply renders as:
+//!
+//! * a summary table on stdout (always);
+//! * with `--out DIR`: `summary.txt`, canonical `stats.json`,
+//!   `trace.json` (Chrome trace-event JSON — phase histograms as bucket
+//!   slices, open in Perfetto) and `metrics/<name>.csv` per metric.
+//!
+//! `--selfcheck` gates the reply's coherence: every phase histogram's
+//! bucket counts must sum to its observation count (a cumulative walk
+//! is then monotone), `stats.json` must be valid RFC 8259, and with
+//! `--min-hits N` the daemon must have answered at least N requests
+//! from cache (hits plus coalesced joins). The CI serve smoke runs
+//! exactly this against the live daemon.
+//!
+//! ```text
+//! sim-stat --endpoint EP [--out DIR] [--selfcheck] [--min-hits N]
+//!          [--shutdown]
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use equalizer_harness::serve::{expose, Client, Request, Response, StatsReply};
+use equalizer_obs::{chrome, csv, json, summary};
+
+const USAGE: &str =
+    "usage: sim-stat --endpoint EP [--out DIR] [--selfcheck] [--min-hits N] [--shutdown]";
+
+struct Options {
+    endpoint: String,
+    out: Option<PathBuf>,
+    selfcheck: bool,
+    min_hits: u64,
+    shutdown: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        endpoint: String::new(),
+        out: None,
+        selfcheck: false,
+        min_hits: 0,
+        shutdown: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--endpoint" => opts.endpoint = value(arg)?,
+            "--out" | "-o" => opts.out = Some(PathBuf::from(value(arg)?)),
+            "--selfcheck" => opts.selfcheck = true,
+            "--min-hits" => {
+                let v = value(arg)?;
+                opts.min_hits = v
+                    .parse()
+                    .map_err(|_| format!("--min-hits needs a non-negative integer, got `{v}`"))?;
+            }
+            "--shutdown" => opts.shutdown = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if opts.endpoint.is_empty() {
+        return Err(format!("--endpoint is required\n{USAGE}"));
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("sim-stat: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let opts = parse_args(args)?;
+
+    let mut client =
+        Client::connect(&opts.endpoint).map_err(|e| format!("connect {}: {e}", opts.endpoint))?;
+    let reply = match client.call(&Request::Stats) {
+        Ok(Response::Stats(reply)) => reply,
+        Ok(other) => return Err(format!("stats request got unexpected reply {other:?}")),
+        Err(e) => return Err(format!("stats request failed: {e}")),
+    };
+
+    // --- stdout: tallies, then one line per phase.
+    let registry = expose::stats_registry(&reply).map_err(|e| format!("stats render: {e}"))?;
+    print!("{}", summary::summary(&registry));
+    println!();
+    for (name, hist) in reply.phases.named() {
+        println!(
+            "{name:<24} n={:<7} mean {:>12} ns",
+            hist.count,
+            hist.mean_ns()
+        );
+    }
+
+    // --- artifacts.
+    if let Some(out) = &opts.out {
+        let metrics_dir = out.join("metrics");
+        fs::create_dir_all(&metrics_dir)
+            .map_err(|e| format!("cannot create {}: {e}", metrics_dir.display()))?;
+        fs::write(out.join("summary.txt"), summary::summary(&registry))
+            .map_err(|e| format!("cannot write summary.txt: {e}"))?;
+        fs::write(out.join("stats.json"), expose::stats_json(&reply))
+            .map_err(|e| format!("cannot write stats.json: {e}"))?;
+        fs::write(out.join("trace.json"), chrome::registry_trace(&registry))
+            .map_err(|e| format!("cannot write trace.json: {e}"))?;
+        let csvs = csv::all_csvs(&registry);
+        let csv_count = csvs.len();
+        for (file, contents) in csvs {
+            fs::write(metrics_dir.join(&file), contents)
+                .map_err(|e| format!("cannot write {file}: {e}"))?;
+        }
+        println!(
+            "wrote summary.txt + stats.json + trace.json + {csv_count} CSV(s) under {}",
+            out.display()
+        );
+    }
+
+    if opts.selfcheck {
+        selfcheck(&reply, opts.min_hits)?;
+        println!("selfcheck ok");
+    }
+
+    if opts.shutdown {
+        match client.call(&Request::Shutdown) {
+            Ok(Response::ShutdownAck) => println!("server acknowledged shutdown"),
+            Ok(other) => return Err(format!("shutdown got unexpected reply {other:?}")),
+            Err(e) => return Err(format!("shutdown failed: {e}")),
+        }
+    }
+    Ok(())
+}
+
+/// Gates a reply's internal coherence; used by `cargo xtask ci` against
+/// the live smoke daemon.
+fn selfcheck(reply: &StatsReply, min_hits: u64) -> Result<(), String> {
+    for (name, hist) in reply.phases.named() {
+        if !hist.coherent() {
+            return Err(format!(
+                "selfcheck: {name} bucket counts do not sum to its observation count"
+            ));
+        }
+    }
+    let rendered = expose::stats_json(reply);
+    json::validate(&rendered).map_err(|e| format!("selfcheck: stats.json invalid: {e}"))?;
+    let hits = reply.tallies.cache_hits + reply.tallies.coalesced;
+    if hits < min_hits {
+        return Err(format!(
+            "selfcheck: expected at least {min_hits} cache hit(s), server saw {hits}"
+        ));
+    }
+    if reply.tallies.requests < reply.tallies.simulations {
+        return Err("selfcheck: more simulations than requests".to_string());
+    }
+    Ok(())
+}

@@ -152,19 +152,57 @@ fn parse_sim_threads(value: Option<&str>) -> Result<usize, String> {
     }
 }
 
+/// Resolves the `SIM_SPIN_LIMIT` environment variable into
+/// [`SimOptions::spin_limit`]: how many spin iterations a pool worker
+/// (or the engine's completion wait) burns before parking on the OS.
+///
+/// Accepted forms: unset or empty — the [`SimOptions`] default; a
+/// non-negative decimal integer, e.g. `0` (park immediately) or
+/// `10000` (spin long before parking). Like `SIM_THREADS` this is a
+/// pure wall-clock knob — results are bit-identical at any setting —
+/// which is why an env var is acceptable here.
+///
+/// # Errors
+///
+/// Returns a descriptive message naming the rejected value and the
+/// accepted forms.
+pub fn sim_spin_limit_from_env() -> Result<u32, String> {
+    parse_sim_spin_limit(std::env::var("SIM_SPIN_LIMIT").ok().as_deref())
+}
+
+/// The parsing behind [`sim_spin_limit_from_env`], split out so the
+/// rules are testable without mutating the process environment.
+fn parse_sim_spin_limit(value: Option<&str>) -> Result<u32, String> {
+    match value {
+        None | Some("") => Ok(SimOptions::default().spin_limit),
+        Some(v) => v.parse::<u32>().map_err(|_| {
+            format!(
+                "invalid SIM_SPIN_LIMIT value `{v}`: expected a non-negative \
+                 integer, or unset/empty for the default"
+            )
+        }),
+    }
+}
+
 impl Runner {
     /// A runner over the paper's baseline GTX 480 configuration.
     ///
     /// Honours `SIM_THREADS` (see [`sim_threads_from_env`]) so CI can
-    /// exercise the whole suite under the parallel stepping path.
+    /// exercise the whole suite under the parallel stepping path, and
+    /// `SIM_SPIN_LIMIT` (see [`sim_spin_limit_from_env`]) for the
+    /// spin-vs-park crossover of the pool's waits.
     ///
     /// # Panics
     ///
-    /// Panics when `SIM_THREADS` is set to a value
-    /// [`sim_threads_from_env`] rejects; a mistyped knob should stop the
-    /// run, not silently degrade it to serial.
+    /// Panics when `SIM_THREADS` or `SIM_SPIN_LIMIT` is set to a value
+    /// its parser rejects; a mistyped knob should stop the run, not
+    /// silently degrade it to the default.
     pub fn gtx480() -> Self {
         let threads = match sim_threads_from_env() {
+            Ok(n) => n,
+            Err(msg) => panic!("{msg}"),
+        };
+        let spin_limit = match sim_spin_limit_from_env() {
             Ok(n) => n,
             Err(msg) => panic!("{msg}"),
         };
@@ -173,6 +211,7 @@ impl Runner {
             model: PowerModel::gtx480(),
             options: SimOptions {
                 threads,
+                spin_limit,
                 ..SimOptions::default()
             },
         }
@@ -399,6 +438,20 @@ mod tests {
             let err = parse_sim_threads(Some(bad)).expect_err(&format!("`{bad}` must be rejected"));
             assert!(err.contains(bad), "error names the value: {err}");
             assert!(err.contains("max"), "error names accepted forms: {err}");
+        }
+    }
+
+    #[test]
+    fn sim_spin_limit_accepts_integers_and_defaults_when_unset() {
+        let default = SimOptions::default().spin_limit;
+        assert_eq!(parse_sim_spin_limit(None), Ok(default));
+        assert_eq!(parse_sim_spin_limit(Some("")), Ok(default));
+        assert_eq!(parse_sim_spin_limit(Some("0")), Ok(0));
+        assert_eq!(parse_sim_spin_limit(Some("10000")), Ok(10_000));
+        for bad in ["-1", " 4", "lots", "1.5"] {
+            let err =
+                parse_sim_spin_limit(Some(bad)).expect_err(&format!("`{bad}` must be rejected"));
+            assert!(err.contains(bad), "error names the value: {err}");
         }
     }
 

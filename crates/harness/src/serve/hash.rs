@@ -51,11 +51,15 @@ fn fold_options(fold: &mut Fold, options: &SimOptions) {
         record_epochs,
         threads,
         max_batch_ticks,
+        spin_limit,
+        profile,
     } = *options;
     fold.add(max_cycles_per_invocation);
     fold.add(u64::from(record_epochs));
     fold.add(threads as u64);
     fold.add(max_batch_ticks);
+    fold.add(u64::from(spin_limit));
+    fold.add(u64::from(profile));
 }
 
 fn fold_common(

@@ -25,16 +25,26 @@
 //! the daemon and its load generator.
 //!
 //! This module tree is part of the strict lint universe (`cargo xtask
-//! lint`): no `HashMap`/`HashSet`, no wall-clock reads, no ambient
-//! randomness — nothing time- or process-dependent can feed a key.
+//! lint`): no `HashMap`/`HashSet`, no ambient randomness — nothing
+//! time- or process-dependent can feed a key. The only wall-clock reads
+//! are the per-request phase timings (queue wait, cache lookup,
+//! simulate, encode, write — see [`protocol::ServerPhaseStats`]), each
+//! behind an explicit lint allow; they land exclusively in the
+//! [`Request::Stats`] reply and never touch keys, cached bytes or
+//! results. [`expose`] renders that reply onto the `equalizer_obs`
+//! exporters (summary table, CSV, Chrome trace, canonical JSON).
 
 pub mod cache;
 pub mod client;
+pub mod expose;
 pub mod hash;
 pub mod protocol;
 pub mod server;
 
 pub use cache::LruCache;
 pub use client::{outcome_stats, Client};
-pub use protocol::{Request, Response, ServerStats, SimOutcome, SimulateRequest, FRAME_MAX};
+pub use protocol::{
+    LatencyHistogram, Request, Response, ServerPhaseStats, ServerStats, SimOutcome,
+    SimulateRequest, StatsReply, FRAME_MAX, LATENCY_BOUNDS_NS, LATENCY_BUCKETS,
+};
 pub use server::{Bound, ServeOptions, Server};

@@ -68,8 +68,9 @@ pub enum Response {
     Error(String),
     /// A completed simulation (fresh, memoized or warm-started).
     Outcome(SimOutcome),
-    /// Server tallies.
-    Stats(ServerStats),
+    /// Server tallies plus per-phase latency histograms (boxed: the
+    /// fixed-bucket histograms make this by far the widest variant).
+    Stats(Box<StatsReply>),
     /// Acknowledges [`Request::Shutdown`]; the daemon exits after this.
     ShutdownAck,
 }
@@ -112,6 +113,140 @@ pub struct ServerStats {
     pub warm_hits: u64,
     /// Prefix-snapshot entries evicted to respect the capacity bound.
     pub snapshot_evictions: u64,
+}
+
+impl ServerStats {
+    /// The tallies as `(metric name, value)` pairs in a fixed,
+    /// registration-stable order — the single source of truth for every
+    /// exposition surface (summary table, CSV, trace), so renderers can
+    /// never disagree on naming or ordering.
+    pub fn named(&self) -> [(&'static str, u64); 9] {
+        // Exhaustive destructuring: a new tally must be named to build.
+        let ServerStats {
+            requests,
+            simulations,
+            cache_hits,
+            coalesced,
+            errors,
+            result_evictions,
+            prefix_runs,
+            warm_hits,
+            snapshot_evictions,
+        } = *self;
+        [
+            ("serve.requests", requests),
+            ("serve.simulations", simulations),
+            ("serve.cache_hits", cache_hits),
+            ("serve.coalesced", coalesced),
+            ("serve.errors", errors),
+            ("serve.result_evictions", result_evictions),
+            ("serve.prefix_runs", prefix_runs),
+            ("serve.warm_hits", warm_hits),
+            ("serve.snapshot_evictions", snapshot_evictions),
+        ]
+    }
+}
+
+/// Inclusive upper bounds (nanoseconds) of the latency histogram
+/// buckets, one decade per bucket from 1 µs to 10 s; an implicit
+/// overflow bucket catches everything slower.
+pub const LATENCY_BOUNDS_NS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// Buckets in a [`LatencyHistogram`]: one per bound plus overflow.
+pub const LATENCY_BUCKETS: usize = LATENCY_BOUNDS_NS.len() + 1;
+
+/// A fixed-bucket latency distribution (bounds in
+/// [`LATENCY_BOUNDS_NS`]), cheap enough to update under the server's
+/// tally lock and small enough to ship in a [`Response::Stats`] frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed latencies, in nanoseconds (saturating).
+    pub sum_ns: u64,
+    /// Per-bucket observation counts; bucket `i` holds observations at
+    /// or under `LATENCY_BOUNDS_NS[i]`, the last bucket the overflow.
+    pub buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Records one observation of `ns` nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        let bucket = LATENCY_BOUNDS_NS
+            .iter()
+            .position(|bound| ns <= *bound)
+            .unwrap_or(LATENCY_BOUNDS_NS.len());
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+    }
+
+    /// Whether the bucket counts add up to `count` — the coherence
+    /// check the CI smoke gates on (a cumulative walk of a coherent
+    /// histogram is monotone and ends exactly at `count`).
+    pub fn coherent(&self) -> bool {
+        self.buckets.iter().sum::<u64>() == self.count
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Per-request phase latency histograms: where wall-clock time goes
+/// between a connection being accepted and its reply hitting the wire.
+///
+/// Purely observational — none of these clocks feed request keys,
+/// cached bytes or simulation results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerPhaseStats {
+    /// Accepted connection sat in the queue before a worker picked it
+    /// up (recorded once per connection).
+    pub queue_wait: LatencyHistogram,
+    /// Result-cache lookup and single-flight claim, including any wait
+    /// for an identical in-flight simulation (recorded per Simulate).
+    pub cache_lookup: LatencyHistogram,
+    /// The simulation itself — cold runs and warm remainders (recorded
+    /// per simulation actually executed, so hits skip it).
+    pub simulate: LatencyHistogram,
+    /// Encoding the response body (recorded per reply).
+    pub encode: LatencyHistogram,
+    /// Writing the framed reply to the socket (recorded per reply).
+    pub write: LatencyHistogram,
+}
+
+impl ServerPhaseStats {
+    /// The phases as `(metric name, histogram)` pairs in the same
+    /// fixed, pipeline order everywhere — see [`ServerStats::named`].
+    pub fn named(&self) -> [(&'static str, &LatencyHistogram); 5] {
+        [
+            ("serve.phase.queue_wait", &self.queue_wait),
+            ("serve.phase.cache_lookup", &self.cache_lookup),
+            ("serve.phase.simulate", &self.simulate),
+            ("serve.phase.encode", &self.encode),
+            ("serve.phase.write", &self.write),
+        ]
+    }
+}
+
+/// Everything a [`Request::Stats`] query returns: the monotonic tallies
+/// plus the per-phase latency histograms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Monotonic counters (requests, hits, evictions, …).
+    pub tallies: ServerStats,
+    /// Per-phase latency histograms.
+    pub phases: ServerPhaseStats,
 }
 
 // --- frame transport -----------------------------------------------------
@@ -249,11 +384,15 @@ fn put_options(w: &mut Writer, options: &SimOptions) {
         record_epochs,
         threads,
         max_batch_ticks,
+        spin_limit,
+        profile,
     } = *options;
     w.u64(max_cycles_per_invocation);
     w.bool(record_epochs);
     w.usize(threads);
     w.u64(max_batch_ticks);
+    w.u32(spin_limit);
+    w.bool(profile);
 }
 
 fn get_options(r: &mut Reader<'_>) -> Result<SimOptions, SnapshotError> {
@@ -262,6 +401,8 @@ fn get_options(r: &mut Reader<'_>) -> Result<SimOptions, SnapshotError> {
         record_epochs: r.bool()?,
         threads: r.usize()?,
         max_batch_ticks: r.u64()?,
+        spin_limit: r.u32()?,
+        profile: r.bool()?,
     })
 }
 
@@ -385,6 +526,56 @@ fn get_server_stats(r: &mut Reader<'_>) -> Result<ServerStats, SnapshotError> {
     })
 }
 
+fn put_latency_histogram(w: &mut Writer, hist: &LatencyHistogram) {
+    w.u64(hist.count);
+    w.u64(hist.sum_ns);
+    for bucket in hist.buckets {
+        w.u64(bucket);
+    }
+}
+
+fn get_latency_histogram(r: &mut Reader<'_>) -> Result<LatencyHistogram, SnapshotError> {
+    let mut hist = LatencyHistogram {
+        count: r.u64()?,
+        sum_ns: r.u64()?,
+        ..LatencyHistogram::default()
+    };
+    for bucket in &mut hist.buckets {
+        *bucket = r.u64()?;
+    }
+    Ok(hist)
+}
+
+fn put_stats_reply(w: &mut Writer, reply: &StatsReply) {
+    put_server_stats(w, &reply.tallies);
+    // Exhaustive destructuring: a new phase must be encoded to build
+    // (and named in `ServerPhaseStats::named`, which every renderer
+    // shares).
+    let ServerPhaseStats {
+        queue_wait,
+        cache_lookup,
+        simulate,
+        encode,
+        write,
+    } = &reply.phases;
+    for hist in [queue_wait, cache_lookup, simulate, encode, write] {
+        put_latency_histogram(w, hist);
+    }
+}
+
+fn get_stats_reply(r: &mut Reader<'_>) -> Result<StatsReply, SnapshotError> {
+    Ok(StatsReply {
+        tallies: get_server_stats(r)?,
+        phases: ServerPhaseStats {
+            queue_wait: get_latency_histogram(r)?,
+            cache_lookup: get_latency_histogram(r)?,
+            simulate: get_latency_histogram(r)?,
+            encode: get_latency_histogram(r)?,
+            write: get_latency_histogram(r)?,
+        },
+    })
+}
+
 /// Encodes a response body (frame it with [`write_frame`]).
 pub fn encode_response(response: &Response) -> Vec<u8> {
     let mut w = Writer::new();
@@ -400,9 +591,9 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             w.bool(outcome.warm_hit);
             w.bytes(&outcome.stats_bytes);
         }
-        Response::Stats(stats) => {
+        Response::Stats(reply) => {
             w.u8(RESP_STATS);
-            put_server_stats(&mut w, stats);
+            put_stats_reply(&mut w, reply);
         }
         Response::ShutdownAck => w.u8(RESP_SHUTDOWN_ACK),
     }
@@ -434,7 +625,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, SnapshotError> {
             warm_hit: r.bool()?,
             stats_bytes: r.bytes()?.to_vec(),
         }),
-        RESP_STATS => Response::Stats(get_server_stats(&mut r)?),
+        RESP_STATS => Response::Stats(Box::new(get_stats_reply(&mut r)?)),
         RESP_SHUTDOWN_ACK => Response::ShutdownAck,
         _ => {
             return Err(SnapshotError::Corrupt {
@@ -500,17 +691,48 @@ mod tests {
                 warm_hit: false,
                 stats_bytes: vec![1, 2, 3],
             }),
-            Response::Stats(ServerStats {
-                requests: 9,
-                cache_hits: 4,
-                ..ServerStats::default()
-            }),
+            Response::Stats(Box::new(StatsReply {
+                tallies: ServerStats {
+                    requests: 9,
+                    cache_hits: 4,
+                    ..ServerStats::default()
+                },
+                phases: {
+                    let mut phases = ServerPhaseStats::default();
+                    phases.queue_wait.record(500);
+                    phases.simulate.record(2_000_000);
+                    phases.write.record(u64::MAX);
+                    phases
+                },
+            })),
             Response::ShutdownAck,
         ];
         for response in responses {
             let body = encode_response(&response);
             assert_eq!(decode_response(&body).unwrap(), response);
         }
+    }
+
+    #[test]
+    fn latency_histogram_buckets_by_inclusive_bound() {
+        let mut hist = LatencyHistogram::default();
+        hist.record(0);
+        hist.record(1_000); // inclusive: lands in the first bucket
+        hist.record(1_001);
+        hist.record(20_000_000_000); // past the last bound: overflow
+        assert_eq!(hist.buckets[0], 2);
+        assert_eq!(hist.buckets[1], 1);
+        assert_eq!(hist.buckets[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(hist.count, 4);
+        assert!(hist.coherent());
+        assert_eq!(hist.mean_ns(), (1_000 + 1_001 + 20_000_000_000) / 4);
+
+        // Saturation never wraps, and incoherence is detectable.
+        hist.sum_ns = u64::MAX;
+        hist.record(1);
+        assert_eq!(hist.sum_ns, u64::MAX);
+        hist.count += 1;
+        assert!(!hist.coherent());
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 use equalizer_power::PowerModel;
 use equalizer_sim::config::GpuConfig;
@@ -36,10 +37,19 @@ use equalizer_workloads::kernel_by_name;
 use super::cache::LruCache;
 use super::hash;
 use super::protocol::{
-    decode_request, encode_response, read_frame, write_frame, Request, Response, ServerStats,
-    SimOutcome, SimulateRequest,
+    decode_request, encode_response, read_frame, write_frame, Request, Response, ServerPhaseStats,
+    ServerStats, SimOutcome, SimulateRequest, StatsReply,
 };
 use crate::Runner;
+
+/// Nanoseconds since `start`, saturated into a `u64`.
+///
+/// All phase timing in this module is diagnostic: the values only ever
+/// land in [`ServerPhaseStats`], never in request keys, cached bytes or
+/// simulation results, so the wall clock cannot perturb determinism.
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Sizing knobs for a [`Server`].
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +86,7 @@ struct Shared {
     /// re-simulating into the same wall.
     failed: std::collections::BTreeMap<u64, String>,
     tally: ServerStats,
+    phases: ServerPhaseStats,
 }
 
 /// The transport-independent simulation server.
@@ -101,6 +112,7 @@ impl Server {
                 in_flight: BTreeSet::new(),
                 failed: std::collections::BTreeMap::new(),
                 tally: ServerStats::default(),
+                phases: ServerPhaseStats::default(),
             }),
             settled: Condvar::new(),
             quit: AtomicBool::new(false),
@@ -142,7 +154,7 @@ impl Server {
                     }
                 }
             }
-            Request::Stats => Response::Stats(self.tallies()),
+            Request::Stats => Response::Stats(Box::new(self.stats_reply())),
             Request::Shutdown => {
                 self.quit.store(true, Ordering::Release);
                 Response::ShutdownAck
@@ -152,11 +164,35 @@ impl Server {
 
     /// Current tallies (eviction counts folded in from the caches).
     pub fn tallies(&self) -> ServerStats {
+        self.stats_reply().tallies
+    }
+
+    /// Everything a [`Request::Stats`] frame reports: the tallies plus
+    /// the per-phase latency histograms, read in one critical section
+    /// so the reply is a coherent snapshot.
+    pub fn stats_reply(&self) -> StatsReply {
         let st = self.lock_state();
         let mut tally = st.tally;
         tally.result_evictions = st.results.evictions();
         tally.snapshot_evictions = st.snapshots.evictions();
-        tally
+        StatsReply {
+            tallies: tally,
+            phases: st.phases,
+        }
+    }
+
+    /// Records how long an accepted connection sat in the queue before
+    /// a worker picked it up.
+    pub(super) fn note_queue_wait(&self, ns: u64) {
+        let mut st = self.lock_state();
+        st.phases.queue_wait.record(ns);
+    }
+
+    /// Records the reply-side I/O phases of one served frame.
+    pub(super) fn note_reply_io(&self, encode_ns: u64, write_ns: u64) {
+        let mut st = self.lock_state();
+        st.phases.encode.record(encode_ns);
+        st.phases.write.record(write_ns);
     }
 
     /// Counts a request that never decoded into a [`Request`].
@@ -184,7 +220,13 @@ impl Server {
 
         // Single-flight claim. Either return a memoized result (or
         // memoized failure), or leave the loop as the flight's leader.
+        // The lookup phase spans the whole claim, so for coalesced
+        // followers it includes the wait on the in-flight leader — by
+        // design: that wait is exactly the latency a hit-after-flight
+        // costs the client.
         let mut waited = false;
+        // lint: allow(no-wallclock) -- phase timing only (see elapsed_ns); never feeds keys or results
+        let lookup_start = Instant::now();
         {
             let mut st = self.lock_state();
             loop {
@@ -194,6 +236,7 @@ impl Server {
                     } else {
                         st.tally.cache_hits += 1;
                     }
+                    st.phases.cache_lookup.record(elapsed_ns(lookup_start));
                     return Ok(SimOutcome {
                         config_hash: key,
                         cached: true,
@@ -202,9 +245,12 @@ impl Server {
                     });
                 }
                 if let Some(msg) = st.failed.get(&key) {
-                    return Err(msg.clone());
+                    let msg = msg.clone();
+                    st.phases.cache_lookup.record(elapsed_ns(lookup_start));
+                    return Err(msg);
                 }
                 if st.in_flight.insert(key) {
+                    st.phases.cache_lookup.record(elapsed_ns(lookup_start));
                     break;
                 }
                 waited = true;
@@ -216,9 +262,13 @@ impl Server {
         }
 
         // Leader: simulate with no lock held, publish, wake waiters.
+        // lint: allow(no-wallclock) -- phase timing only (see elapsed_ns); never feeds keys or results
+        let sim_start = Instant::now();
         let ran = self.drive_to_completion(&config, &kernel, req, governor.as_mut());
+        let sim_ns = elapsed_ns(sim_start);
         let outcome = {
             let mut st = self.lock_state();
+            st.phases.simulate.record(sim_ns);
             st.in_flight.remove(&key);
             match ran {
                 Ok((stats_bytes, warm_hit)) => {
@@ -345,17 +395,21 @@ enum Dial {
     Tcp(SocketAddr),
 }
 
-/// Connection queue between the acceptor and the worker pool.
+/// Connection queue between the acceptor and the worker pool. Each
+/// entry remembers when it was enqueued so the worker that dequeues it
+/// can report the queue-wait phase.
 #[derive(Debug, Default)]
 struct ConnQueue {
-    inner: Mutex<(VecDeque<Conn>, bool)>,
+    inner: Mutex<(VecDeque<(Conn, Instant)>, bool)>,
     ready: Condvar,
 }
 
 impl ConnQueue {
     fn push_conn(&self, conn: Conn) {
+        // lint: allow(no-wallclock) -- queue-wait phase timing only (see elapsed_ns)
+        let enqueued = Instant::now();
         let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        guard.0.push_back(conn);
+        guard.0.push_back((conn, enqueued));
         drop(guard);
         self.ready.notify_one();
     }
@@ -365,12 +419,13 @@ impl ConnQueue {
         self.ready.notify_all();
     }
 
-    /// Next connection, or `None` once the queue is closed and drained.
-    fn next_conn(&self) -> Option<Conn> {
+    /// Next connection and the nanoseconds it sat in the queue, or
+    /// `None` once the queue is closed and drained.
+    fn next_conn(&self) -> Option<(Conn, u64)> {
         let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
-            if let Some(conn) = guard.0.pop_front() {
-                return Some(conn);
+            if let Some((conn, enqueued)) = guard.0.pop_front() {
+                return Some((conn, elapsed_ns(enqueued)));
             }
             if guard.1 {
                 return None;
@@ -456,7 +511,8 @@ impl Bound {
         let result = std::thread::scope(|scope| {
             for _ in 0..workers.max(1) {
                 scope.spawn(|| {
-                    while let Some(conn) = queue.next_conn() {
+                    while let Some((conn, wait_ns)) = queue.next_conn() {
+                        server.note_queue_wait(wait_ns);
                         if serve_connection(server, conn) {
                             self.nudge_acceptor();
                         }
@@ -513,10 +569,15 @@ fn serve_connection(server: &Server, mut conn: Conn) -> bool {
                         Response::Error(format!("malformed request body: {e}"))
                     }
                 };
-                if write_frame(&mut conn, &encode_response(&response)).is_err() {
-                    break;
-                }
-                if shutdown {
+                // lint: allow(no-wallclock) -- encode/write phase timing only (see elapsed_ns)
+                let encode_start = Instant::now();
+                let reply = encode_response(&response);
+                let encode_ns = elapsed_ns(encode_start);
+                // lint: allow(no-wallclock) -- encode/write phase timing only (see elapsed_ns)
+                let write_start = Instant::now();
+                let wrote = write_frame(&mut conn, &reply);
+                server.note_reply_io(encode_ns, elapsed_ns(write_start));
+                if wrote.is_err() || shutdown {
                     break;
                 }
             }

@@ -178,7 +178,7 @@ fn malformed_frames_get_error_replies_and_the_daemon_survives() {
         .unwrap()
         .expect("stats reply");
     match protocol::decode_response(&reply).unwrap() {
-        Response::Stats(tallies) => assert_eq!(tallies.errors, 2),
+        Response::Stats(reply) => assert_eq!(reply.tallies.errors, 2),
         other => panic!("expected stats, got {other:?}"),
     }
     drop(conn);
@@ -191,6 +191,74 @@ fn malformed_frames_get_error_replies_and_the_daemon_survives() {
     );
     daemon.join().unwrap().unwrap();
     assert!(!path.exists(), "socket file is removed on shutdown");
+}
+
+#[test]
+fn live_daemon_stats_frame_matches_client_observed_hits() {
+    let path =
+        std::env::temp_dir().join(format!("equalizer-serve-stat-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let server = Arc::new(Server::new(small_config(), ServeOptions::default()));
+    let bound = Bound::unix(&path).unwrap();
+    let daemon = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || bound.run_until_shutdown(&server, 2))
+    };
+
+    // One cold request plus repeats over a live connection, counting the
+    // hits the client itself observes.
+    const REPEATS: u64 = 4;
+    let mut client = Client::connect_unix(&path).unwrap();
+    let req = simulate_request(3, System::DynCta, 0);
+    let mut observed_hits = 0u64;
+    for _ in 0..REPEATS {
+        if outcome(client.call(&Request::Simulate(req.clone())).unwrap()).cached {
+            observed_hits += 1;
+        }
+    }
+    assert_eq!(observed_hits, REPEATS - 1, "every repeat must hit");
+
+    // The daemon's Stats frame must agree with what the client saw.
+    let reply = match client.call(&Request::Stats).unwrap() {
+        Response::Stats(reply) => reply,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    assert_eq!(reply.tallies.requests, REPEATS);
+    assert_eq!(
+        reply.tallies.cache_hits + reply.tallies.coalesced,
+        observed_hits
+    );
+    assert_eq!(reply.tallies.simulations, 1);
+
+    // Phase histograms: coherent (bucket counts sum to the observation
+    // count, so a cumulative walk is monotone), and populated exactly
+    // where the request mix guarantees it.
+    for (name, hist) in reply.phases.named() {
+        assert!(hist.coherent(), "{name} buckets must sum to its count");
+    }
+    assert_eq!(
+        reply.phases.cache_lookup.count, REPEATS,
+        "every simulate request is looked up"
+    );
+    assert_eq!(
+        reply.phases.simulate.count, 1,
+        "cache hits never time a simulation"
+    );
+    assert_eq!(
+        reply.phases.queue_wait.count, 1,
+        "one connection was queued"
+    );
+    assert_eq!(
+        reply.phases.encode.count, REPEATS,
+        "the replies sent before the stats snapshot were timed"
+    );
+    assert_eq!(reply.phases.write.count, REPEATS);
+
+    assert_eq!(
+        client.call(&Request::Shutdown).unwrap(),
+        Response::ShutdownAck
+    );
+    daemon.join().unwrap().unwrap();
 }
 
 #[test]

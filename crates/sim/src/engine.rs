@@ -56,6 +56,7 @@ use crate::memsys::{MemLevelStats, MemSystem};
 use crate::pool::{Assignment, SmPool};
 use crate::sm::{Sm, SmLevelEvents};
 use crate::stats::{EpochRecord, InvocationStats, RunStats};
+use crate::telemetry::{BatchClose, BatchWindowStats, PoolStats, WindowBound};
 
 /// Identifies a clock domain in [`Observer::on_vf_transition`] callbacks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -330,6 +331,10 @@ pub struct Engine<'o> {
     // Run cursor.
     sm_steps: u64,
     batched_ticks: u64,
+    // Diagnostic only: never enters `RunStats` or snapshots (restore
+    // resets it), so results stay bit-identical with or without anyone
+    // reading it.
+    batch_stats: BatchWindowStats,
     now: Femtos,
     single_sm: bool,
     inv_idx: usize,
@@ -389,7 +394,7 @@ impl<'o> Engine<'o> {
         // partition itself, so `threads` counts it: serial and single-SM
         // runs never spawn a worker.
         let threads = options.threads.clamp(1, config.num_sms);
-        let pool = SmPool::new(sms, threads - 1);
+        let pool = SmPool::new(sms, threads - 1, options.spin_limit, options.profile);
         let mem = MemSystem::new(config);
         let nominal_sm_period = config.sm_clock.period_fs(VfLevel::Nominal);
         let epoch_span_fs = config.epoch_cycles * nominal_sm_period;
@@ -410,6 +415,7 @@ impl<'o> Engine<'o> {
             next_epoch_fs: epoch_span_fs,
             sm_steps: 0,
             batched_ticks: 0,
+            batch_stats: BatchWindowStats::default(),
             now: 0,
             inv_idx: 0,
             inv_start_cycles: 0,
@@ -483,6 +489,31 @@ impl<'o> Engine<'o> {
     /// free of cross-SM interaction.
     pub fn batched_ticks(&self) -> u64 {
         self.batched_ticks
+    }
+
+    /// The batch-window diagnostic: window-size histogram, what bounded
+    /// each window, and why per-tick fallbacks happened.
+    ///
+    /// `RunStats`-adjacent on purpose — like [`Engine::batched_ticks`]
+    /// it describes the wall-clock optimisation, not the simulated
+    /// machine, so it never enters [`RunStats`] or snapshots
+    /// (restoring resets it). Deterministic at every thread count.
+    pub fn batch_window_stats(&self) -> &BatchWindowStats {
+        &self.batch_stats
+    }
+
+    /// Snapshot of the pool's profiling counters: per-partition busy
+    /// ticks, jobs, spin iterations and park events, plus the engine's
+    /// dispatch/wait counters.
+    ///
+    /// All zeros unless the run was started with
+    /// [`SimOptions::profile`]; like [`Engine::batch_window_stats`],
+    /// never part of [`RunStats`] or snapshots. Unlike the batch-window
+    /// diagnostic the spin/park counts are wall-clock facts and vary
+    /// run to run — only the busy-tick and job totals are
+    /// deterministic for a fixed thread count.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Runs `f` against SM `index`, for mid-run inspection.
@@ -900,10 +931,17 @@ impl<'o> Engine<'o> {
         // Tick batching: when the engine can prove a window of `w >= 2`
         // SM cycles is free of cross-SM interaction, it executes the
         // whole window in one pool dispatch instead of `w` per-tick
-        // hand-offs. See `batch_window` for the proof obligations.
-        if let Some(w) = self.try_batched_window() {
-            self.run_batched_window(w);
-            return Ok(StepEvent::SmCycle);
+        // hand-offs. See `try_batched_window` for the proof
+        // obligations. Either way the outcome feeds the batch-window
+        // diagnostic: window size and bound on success, close reason on
+        // the per-tick fallback.
+        match self.try_batched_window() {
+            Ok((w, bound)) => {
+                self.batch_stats.record_window(w, bound);
+                self.run_batched_window(w);
+                return Ok(StepEvent::SmCycle);
+            }
+            Err(close) => self.batch_stats.record_close(close),
         }
 
         let t = min_sm_tick;
@@ -1073,8 +1111,10 @@ impl<'o> Engine<'o> {
     }
 
     /// Decides whether the next SM tick can open a batched window, and
-    /// how long it may run. Returns `None` unless a window of at least
-    /// two ticks is provably free of cross-SM interaction.
+    /// how long it may run. Returns the window length and what capped
+    /// it, or the reason no window of at least two ticks is provably
+    /// free of cross-SM interaction (feeding the close-reason breakdown
+    /// in [`BatchWindowStats`]).
     ///
     /// The proof obligations, checked in cheapest-first order:
     ///
@@ -1092,15 +1132,15 @@ impl<'o> Engine<'o> {
     ///   instruction per cycle, so nothing can reach the memory system
     ///   or retire a block inside the window — in-window commits
     ///   degenerate to per-SM statistics.
-    fn try_batched_window(&self) -> Option<u64> {
+    fn try_batched_window(&self) -> Result<(u64, WindowBound), BatchClose> {
         if self.config.per_sm_vrm || self.options.max_batch_ticks < 2 {
-            return None;
+            return Err(BatchClose::Disabled);
         }
         if self.sm_clocks[0].has_pending_transition() || self.mem_clock.has_pending_transition() {
-            return None;
+            return Err(BatchClose::VfTransition);
         }
         if !self.mem.quiescent() {
-            return None;
+            return Err(BatchClose::MemoryActive);
         }
         let cycles = self.sm_clocks[0].cycles();
         // Stay strictly inside the epoch: the boundary tick itself must
@@ -1114,21 +1154,34 @@ impl<'o> Engine<'o> {
             .options
             .max_cycles_per_invocation
             .saturating_sub(cycles - self.inv_start_cycles);
-        let mut w = self.options.max_batch_ticks.min(epoch_cap).min(limit_cap);
+        let mut w = self.options.max_batch_ticks;
+        let mut bound = WindowBound::Knob;
+        if epoch_cap < w {
+            w = epoch_cap;
+            bound = WindowBound::EpochCap;
+        }
+        if limit_cap < w {
+            w = limit_cap;
+            bound = WindowBound::LimitCap;
+        }
         if w < 2 {
-            return None;
+            return Err(BatchClose::EpochOrCycleCap);
         }
         for i in 0..self.pool.num_sms() {
             let sm = self.pool.sm_ref(i);
             if !sm.quiescent() {
-                return None;
+                return Err(BatchClose::SmActive);
             }
-            w = w.min(sm.batch_horizon());
+            let horizon = sm.batch_horizon();
+            if horizon < w {
+                w = horizon;
+                bound = WindowBound::Horizon;
+            }
             if w < 2 {
-                return None;
+                return Err(BatchClose::IssueRunway);
             }
         }
-        Some(w)
+        Ok((w, bound))
     }
 
     /// Executes a batched window of `w` SM ticks in one pool dispatch,

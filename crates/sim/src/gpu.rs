@@ -93,6 +93,25 @@ pub struct SimOptions {
     /// pins bit-identical stats with batching on and off — so this too
     /// is purely a wall-clock knob. Values below 2 disable batching.
     pub max_batch_ticks: u64,
+    /// Spin iterations before a waiting pool thread parks (workers
+    /// waiting for the next dispatch generation) or downgrades to
+    /// `yield_now` (the engine waiting for partition completion).
+    ///
+    /// Low values hand the core back quickly on oversubscribed hosts;
+    /// high values keep the hand-off latency in the nanosecond range on
+    /// idle ones. Results are bit-identical for every value — the knob
+    /// only moves the spin-vs-park crossover — so this is purely a
+    /// wall-clock knob, tunable via `SIM_SPIN_LIMIT` in the harness.
+    pub spin_limit: u32,
+    /// Count pool/dispatch profiling events ([`crate::telemetry::PoolStats`]).
+    ///
+    /// When set, the pool maintains relaxed atomic counters (per-partition
+    /// busy ticks, jobs, spin iterations, park events) readable through
+    /// `Engine::pool_stats`. The counters live entirely outside
+    /// [`crate::stats::RunStats`] and the snapshot codec, so results stay
+    /// bit-identical whether profiling is on or off; the only cost is a
+    /// handful of relaxed increments per dispatch. Off by default.
+    pub profile: bool,
 }
 
 impl Default for SimOptions {
@@ -102,6 +121,8 @@ impl Default for SimOptions {
             record_epochs: true,
             threads: 1,
             max_batch_ticks: 1024,
+            spin_limit: 256,
+            profile: false,
         }
     }
 }

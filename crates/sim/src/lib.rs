@@ -85,6 +85,7 @@ pub mod program;
 pub mod sm;
 pub mod snapshot;
 pub mod stats;
+pub mod telemetry;
 pub mod util;
 pub mod warp;
 
@@ -105,4 +106,5 @@ pub mod prelude {
         AddressPattern, Instr, IterProfile, MemInstr, MemSpace, Program, Segment,
     };
     pub use crate::stats::{EpochRecord, RunStats};
+    pub use crate::telemetry::{BatchWindowStats, PartitionStats, PoolStats};
 }

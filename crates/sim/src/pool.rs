@@ -13,11 +13,24 @@
 //! per partition published the same way.
 //!
 //! Workers wait for the next generation by spinning briefly
-//! ([`SPIN_LIMIT`] iterations of [`std::hint::spin_loop`]) and then
-//! parking, so an idle pool burns no CPU on oversubscribed hosts; the
-//! engine unparks every worker after each epoch bump, and the park
-//! token makes that race-free (a worker that parks just after the bump
-//! consumes the pending token and returns immediately).
+//! ([`SimOptions::spin_limit`] iterations of [`std::hint::spin_loop`],
+//! default 256) and then parking, so an idle pool burns no CPU on
+//! oversubscribed hosts; the engine unparks every worker after each
+//! epoch bump, and the park token makes that race-free (a worker that
+//! parks just after the bump consumes the pending token and returns
+//! immediately).
+//!
+//! When profiling is requested ([`SimOptions::profile`]) the pool also
+//! maintains relaxed atomic counters — per-partition busy ticks, jobs,
+//! spin iterations and park events — snapshotted by [`SmPool::stats`].
+//! The counters are strictly observational: they are relaxed because
+//! they order nothing (the hand-off is still carried by the epoch/done
+//! Release/Acquire pairs alone), they never influence scheduling, and
+//! they stay out of `RunStats` and snapshots, so profiled runs are
+//! bit-identical to unprofiled ones.
+//!
+//! [`SimOptions::spin_limit`]: crate::gpu::SimOptions::spin_limit
+//! [`SimOptions::profile`]: crate::gpu::SimOptions::profile
 //!
 //! A dispatch runs one *job* per partition: the local phase of the
 //! two-phase cycle ([`Sm::cycle_local`]) for each due SM — either every
@@ -64,15 +77,10 @@ use std::thread::JoinHandle;
 
 use crate::config::{Femtos, VfLevel};
 use crate::sm::Sm;
+use crate::telemetry::{PartitionStats, PoolStats};
 
 /// One due SM for the current tick: `(sm index, level, period_fs)`.
 pub(crate) type Assignment = (usize, VfLevel, Femtos);
-
-/// Spin iterations before a waiting worker parks (and before the
-/// engine's completion wait downgrades to `yield_now`). Small on
-/// purpose: on oversubscribed hosts spinning steals cycles from the
-/// very workers being waited on.
-const SPIN_LIMIT: u32 = 256;
 
 /// What one dispatch asks every partition to do.
 #[derive(Clone, Copy)]
@@ -104,6 +112,17 @@ struct Partition {
     /// Generation number of the last completed job (`Release` by the
     /// worker, `Acquire` by the engine).
     done: AtomicU64,
+    /// Profiling: SM ticks executed by this partition (relaxed; only
+    /// touched when the pool was built with `profile`).
+    busy_ticks: AtomicU64,
+    /// Profiling: jobs this partition has run (relaxed).
+    jobs: AtomicU64,
+    /// Profiling: spin iterations waiting for the next generation
+    /// (relaxed).
+    spins: AtomicU64,
+    /// Profiling: park events after exhausting the spin budget
+    /// (relaxed).
+    parks: AtomicU64,
 }
 
 /// Shared state between the engine thread and the workers.
@@ -116,6 +135,14 @@ struct Shared {
     epoch: AtomicU64,
     /// Set (before a final epoch bump) to shut the workers down.
     shutdown: AtomicBool,
+    /// Spin iterations before a waiting worker parks (and before the
+    /// engine's completion wait downgrades to `yield_now`). Kept small
+    /// by default: on oversubscribed hosts spinning steals cycles from
+    /// the very workers being waited on.
+    spin_limit: u32,
+    /// Whether the profiling counters are maintained. Checked once per
+    /// job/wait, never per tick, so the off path costs one branch.
+    profile: bool,
     parts: Vec<Partition>,
 }
 
@@ -137,6 +164,14 @@ pub(crate) struct SmPool {
     live: Vec<bool>,
     /// Engine-side copy of the current generation number.
     epoch: u64,
+    /// Profiling: dispatches issued (inline ones included; engine
+    /// thread only, so a plain counter suffices).
+    dispatches: u64,
+    /// Profiling: spin iterations in the completion wait (engine
+    /// thread only, so a plain counter suffices).
+    engine_spins: u64,
+    /// Profiling: `yield_now` calls in the completion wait.
+    engine_yields: u64,
     nparts: usize,
     num_sms: usize,
 }
@@ -148,7 +183,10 @@ impl SmPool {
     /// threads). A failed spawn degrades gracefully: the partition is
     /// marked dead and the engine services it inline during dispatch,
     /// so results never depend on how many threads actually started.
-    pub(crate) fn new(sms: Vec<Sm>, workers: usize) -> Self {
+    /// `spin_limit` sets the spin-vs-park crossover and `profile`
+    /// enables the relaxed profiling counters; neither can affect
+    /// simulated results.
+    pub(crate) fn new(sms: Vec<Sm>, workers: usize, spin_limit: u32, profile: bool) -> Self {
         let num_sms = sms.len();
         let nparts = workers + 1;
         let mut shards: Vec<Vec<Sm>> = (0..nparts).map(|_| Vec::new()).collect();
@@ -162,6 +200,10 @@ impl SmPool {
                 due: UnsafeCell::new(Vec::new()),
                 panic: UnsafeCell::new(None),
                 done: AtomicU64::new(0),
+                busy_ticks: AtomicU64::new(0),
+                jobs: AtomicU64::new(0),
+                spins: AtomicU64::new(0),
+                parks: AtomicU64::new(0),
             })
             .collect();
         let shared = Arc::new(Shared {
@@ -174,6 +216,8 @@ impl SmPool {
             }),
             epoch: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            spin_limit,
+            profile,
             parts,
         });
         let mut live = vec![false; nparts];
@@ -194,8 +238,37 @@ impl SmPool {
             handles,
             live,
             epoch: 0,
+            dispatches: 0,
+            engine_spins: 0,
+            engine_yields: 0,
             nparts,
             num_sms,
+        }
+    }
+
+    /// Snapshot of the profiling counters. All zeros unless the pool
+    /// was built with `profile` set. Safe to call between dispatches
+    /// only (like every other engine-side accessor): the relaxed loads
+    /// then observe complete per-job values, because each worker's
+    /// counter writes precede its `Release` done store and the engine
+    /// already observed that store with `Acquire`.
+    pub(crate) fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.handles.len(),
+            dispatches: self.dispatches,
+            engine_spins: self.engine_spins,
+            engine_yields: self.engine_yields,
+            partitions: self
+                .shared
+                .parts
+                .iter()
+                .map(|part| PartitionStats {
+                    busy_ticks: part.busy_ticks.load(Ordering::Relaxed),
+                    jobs: part.jobs.load(Ordering::Relaxed),
+                    spins: part.spins.load(Ordering::Relaxed),
+                    parks: part.parks.load(Ordering::Relaxed),
+                })
+                .collect(),
         }
     }
 
@@ -282,13 +355,21 @@ impl SmPool {
     /// Publishes `job`, services partition 0 (and any dead partitions)
     /// inline, waits for the workers and forwards any panic.
     fn dispatch(&mut self, job: JobDesc) {
+        let profile = self.shared.profile;
+        if profile {
+            self.dispatches += 1;
+        }
         if !self.has_workers() {
             // Serial pool (or every spawn failed): run everything
-            // inline with no atomics at all.
+            // inline with no atomics on the hand-off at all.
             for part in &self.shared.parts {
                 // SAFETY: no worker threads exist, so the engine thread
                 // owns every shard unconditionally.
-                unsafe { run_job(&job, &mut *part.sms.get(), &*part.due.get()) };
+                let ticks = unsafe { run_job(&job, &mut *part.sms.get(), &*part.due.get()) };
+                if profile {
+                    part.busy_ticks.fetch_add(ticks, Ordering::Relaxed);
+                    part.jobs.fetch_add(1, Ordering::Relaxed);
+                }
             }
             return;
         }
@@ -307,23 +388,36 @@ impl SmPool {
             if !self.live[p] {
                 // SAFETY: dead partitions are never touched by any
                 // worker; the engine owns them unconditionally.
-                unsafe { run_job(&job, &mut *part.sms.get(), &*part.due.get()) };
+                let ticks = unsafe { run_job(&job, &mut *part.sms.get(), &*part.due.get()) };
+                if profile {
+                    part.busy_ticks.fetch_add(ticks, Ordering::Relaxed);
+                    part.jobs.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         // Wait for every live partition to publish this generation.
+        let spin_limit = self.shared.spin_limit;
+        let mut wait_spins = 0u64;
+        let mut wait_yields = 0u64;
         for (p, part) in self.shared.parts.iter().enumerate() {
             if !self.live[p] {
                 continue;
             }
             let mut spins = 0u32;
             while part.done.load(Ordering::Acquire) != self.epoch {
-                if spins < SPIN_LIMIT {
+                if spins < spin_limit {
                     spins += 1;
                     std::hint::spin_loop();
                 } else {
+                    wait_yields += 1;
                     std::thread::yield_now();
                 }
             }
+            wait_spins += u64::from(spins);
+        }
+        if profile {
+            self.engine_spins += wait_spins;
+            self.engine_yields += wait_yields;
         }
         // All shards are back under engine ownership; forward the first
         // stashed panic (after the full wait, so no worker is still
@@ -364,8 +458,9 @@ impl std::fmt::Debug for SmPool {
 
 /// Executes one job over one partition's shard. Runs on whichever
 /// thread currently owns the shard (worker, or engine for partition 0
-/// and dead partitions).
-fn run_job(job: &JobDesc, sms: &mut [Sm], due: &[(usize, VfLevel, Femtos)]) {
+/// and dead partitions). Returns the SM ticks executed, for the
+/// profiling counters.
+fn run_job(job: &JobDesc, sms: &mut [Sm], due: &[(usize, VfLevel, Femtos)]) -> u64 {
     if job.all {
         for sm in sms.iter_mut() {
             let mut t = job.now;
@@ -382,10 +477,12 @@ fn run_job(job: &JobDesc, sms: &mut [Sm], due: &[(usize, VfLevel, Femtos)]) {
                 }
             }
         }
+        sms.len() as u64 * job.ticks
     } else {
         for &(local, level, period) in due {
             sms[local].cycle_local(job.now, level, period);
         }
+        due.len() as u64
     }
 }
 
@@ -394,15 +491,18 @@ fn run_job(job: &JobDesc, sms: &mut [Sm], due: &[(usize, VfLevel, Femtos)]) {
 /// publish completion, repeat until shutdown.
 fn worker_loop(shared: &Shared, part: usize) {
     let mut seen = 0u64;
+    let spin_limit = shared.spin_limit;
+    let profile = shared.profile;
     loop {
         let mut spins = 0u32;
+        let mut parks = 0u64;
         loop {
             let e = shared.epoch.load(Ordering::Acquire);
             if e != seen {
                 seen = e;
                 break;
             }
-            if spins < SPIN_LIMIT {
+            if spins < spin_limit {
                 spins += 1;
                 std::hint::spin_loop();
             } else {
@@ -410,10 +510,17 @@ fn worker_loop(shared: &Shared, part: usize) {
                 // bump; a bump between the load above and this park
                 // leaves the park token set, so park returns
                 // immediately — no lost wakeup.
+                parks += 1;
                 std::thread::park();
             }
         }
         let cell = &shared.parts[part];
+        if profile {
+            // Counted once per wait, not per iteration: the off path
+            // and the hot spin loop both stay free of atomic traffic.
+            cell.spins.fetch_add(u64::from(spins), Ordering::Relaxed);
+            cell.parks.fetch_add(parks, Ordering::Relaxed);
+        }
         if shared.shutdown.load(Ordering::Acquire) {
             cell.done.store(seen, Ordering::Release);
             return;
@@ -422,11 +529,18 @@ fn worker_loop(shared: &Shared, part: usize) {
             // SAFETY: observing the new epoch with Acquire transferred
             // ownership of this partition's cells to this worker until
             // the Release `done` store below.
-            unsafe { run_job(&*shared.job.get(), &mut *cell.sms.get(), &*cell.due.get()) };
+            unsafe { run_job(&*shared.job.get(), &mut *cell.sms.get(), &*cell.due.get()) }
         }));
-        if let Err(payload) = result {
-            // SAFETY: same ownership window as the job itself.
-            unsafe { *cell.panic.get() = Some(payload) };
+        match result {
+            Ok(ticks) if profile => {
+                cell.busy_ticks.fetch_add(ticks, Ordering::Relaxed);
+                cell.jobs.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(_) => {}
+            Err(payload) => {
+                // SAFETY: same ownership window as the job itself.
+                unsafe { *cell.panic.get() = Some(payload) };
+            }
         }
         cell.done.store(seen, Ordering::Release);
     }
@@ -440,7 +554,13 @@ mod tests {
     fn pool(num_sms: usize, workers: usize) -> SmPool {
         let config = GpuConfig::gtx480();
         let sms = (0..num_sms).map(|i| Sm::new(i, &config)).collect();
-        SmPool::new(sms, workers)
+        SmPool::new(sms, workers, 256, false)
+    }
+
+    fn profiled_pool(num_sms: usize, workers: usize) -> SmPool {
+        let config = GpuConfig::gtx480();
+        let sms = (0..num_sms).map(|i| Sm::new(i, &config)).collect();
+        SmPool::new(sms, workers, 4, true)
     }
 
     #[test]
@@ -487,5 +607,41 @@ mod tests {
         for id in 0..4 {
             assert_eq!(p.sm_ref(id).id(), id);
         }
+    }
+
+    #[test]
+    fn unprofiled_pool_reports_all_zero_counters() {
+        let mut p = pool(4, 1);
+        p.dispatch_all(1, VfLevel::Nominal, 1, 3);
+        let stats = p.stats();
+        assert_eq!(stats.dispatches, 0);
+        assert!(stats
+            .partitions
+            .iter()
+            .all(|s| *s == PartitionStats::default()));
+    }
+
+    #[test]
+    fn profiled_dispatch_counts_busy_ticks_per_partition() {
+        // 5 SMs over 2 partitions: shard sizes 3 and 2. One dispatch of
+        // a 4-tick window must charge 12 and 8 busy ticks respectively,
+        // whether or not the worker actually spawned.
+        let mut p = profiled_pool(5, 1);
+        p.dispatch_all(1, VfLevel::Nominal, 1, 4);
+        let stats = p.stats();
+        assert_eq!(stats.dispatches, 1);
+        assert_eq!(stats.partitions.len(), 2);
+        assert_eq!(stats.partitions[0].busy_ticks, 12);
+        assert_eq!(stats.partitions[1].busy_ticks, 8);
+        assert_eq!(stats.busy_total(), 20);
+        assert_eq!(stats.busy_imbalance(), (12, 8));
+        assert!(stats.partitions.iter().all(|s| s.jobs == 1));
+
+        // A due-mode dispatch charges one tick per due SM.
+        let due: Vec<Assignment> = vec![(0, VfLevel::Nominal, 1), (1, VfLevel::Nominal, 1)];
+        p.dispatch_due(2, &due);
+        let stats = p.stats();
+        assert_eq!(stats.dispatches, 2);
+        assert_eq!(stats.busy_total(), 22);
     }
 }

@@ -494,12 +494,13 @@ fn fold_clock_config(fold: &mut Fold, c: &ClockConfig) {
 /// Fingerprint of the machine a snapshot belongs to: configuration,
 /// kernel identity and every *result-affecting* option.
 ///
-/// `threads` and `max_batch_ticks` are wall-clock-only knobs — the
-/// partitioned stepping path is bit-identical at any setting — so they
-/// are deliberately excluded: a snapshot taken serially restores under
-/// the full worker pool (and vice versa). The exhaustive destructuring
-/// of [`SimOptions`] below keeps that exclusion a conscious decision
-/// when new options appear.
+/// `threads`, `max_batch_ticks`, `spin_limit` and `profile` are
+/// wall-clock-only knobs — the partitioned stepping path is
+/// bit-identical at any setting and the profiling counters live outside
+/// results — so they are deliberately excluded: a snapshot taken
+/// serially restores under the full worker pool (and vice versa). The
+/// exhaustive destructuring of [`SimOptions`] below keeps that
+/// exclusion a conscious decision when new options appear.
 pub fn machine_fingerprint(config: &GpuConfig, kernel: &KernelSpec, options: &SimOptions) -> u64 {
     let mut fold = Fold::new(0x4551_534E_0000_0001); // "EQSN" v1 domain tag
     fold_gpu_config(&mut fold, config);
@@ -509,6 +510,8 @@ pub fn machine_fingerprint(config: &GpuConfig, kernel: &KernelSpec, options: &Si
         record_epochs,
         threads: _,         // wall-clock only: partitioning never changes results
         max_batch_ticks: _, // wall-clock only: batching never changes results
+        spin_limit: _,      // wall-clock only: spin-vs-park crossover
+        profile: _,         // wall-clock only: counters never touch results
     } = options;
     fold.add(*max_cycles_per_invocation);
     fold.add(u64::from(*record_epochs));
@@ -792,6 +795,8 @@ mod tests {
         let threaded = SimOptions {
             threads: 8,
             max_batch_ticks: 1,
+            spin_limit: 0,
+            profile: true,
             ..base
         };
         assert_eq!(fp, machine_fingerprint(&config, &kernel, &threaded));

@@ -1,0 +1,253 @@
+//! Pay-for-use hot-path telemetry: pool/dispatch profiling counters and
+//! the batch-window diagnostic.
+//!
+//! Everything in this module is **diagnostic only**. The counters are
+//! deliberately kept outside [`crate::stats::RunStats`] and outside the
+//! snapshot codec, so a profiled run produces bit-identical results to
+//! an unprofiled one at every thread count (pinned by
+//! `tests/parallel_determinism.rs`). Two families live here:
+//!
+//! * [`PoolStats`] — a snapshot of the relaxed atomic counters owned by
+//!   the SM pool: per-partition busy ticks, jobs, spin iterations and
+//!   park events, plus the engine-side dispatch/wait counters. Only
+//!   maintained when [`crate::gpu::SimOptions::profile`] is set; the
+//!   counters are relaxed because they order nothing — the dispatch
+//!   hand-off is still carried entirely by the epoch/done
+//!   Release/Acquire pairs.
+//! * [`BatchWindowStats`] — the engine-thread breakdown of tick
+//!   batching: how many windows opened, their size distribution, what
+//!   bounded each window, and why each per-tick fallback happened.
+//!   These are plain engine-thread integers (no atomics needed) and are
+//!   recorded unconditionally — the cost is one enum match per SM step.
+
+/// Log2 buckets in [`BatchWindowStats::size_histogram`]: bucket `i`
+/// counts windows of `2^(i+1) ..= 2^(i+2) - 1` ticks (windows are never
+/// shorter than 2), with the last bucket absorbing everything larger.
+pub const WINDOW_SIZE_BUCKETS: usize = 11;
+
+/// Counters for one pool partition, as maintained by whichever thread
+/// owns the shard (a persistent worker, or the engine for partition 0
+/// and dead partitions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// SM ticks executed by this partition: one per due SM per
+    /// dispatched tick (batched windows count every in-window tick).
+    pub busy_ticks: u64,
+    /// Jobs (dispatch generations) this partition has run.
+    pub jobs: u64,
+    /// Spin-loop iterations spent waiting for the next generation.
+    pub spins: u64,
+    /// Times the partition's worker gave up spinning and parked.
+    pub parks: u64,
+}
+
+/// A coherent snapshot of the pool's profiling counters.
+///
+/// Obtained from `Engine::pool_stats` between steps, when every
+/// partition is quiescent, so the relaxed loads observe complete
+/// values. All counters read zero unless the run was started with
+/// [`crate::gpu::SimOptions::profile`] set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads actually running (0 for a serial pool).
+    pub workers: usize,
+    /// Dispatch generations published by the engine (inline dispatches
+    /// of a serial pool count too).
+    pub dispatches: u64,
+    /// Spin-loop iterations the engine spent waiting for partition
+    /// completion before downgrading to `yield_now`.
+    pub engine_spins: u64,
+    /// `yield_now` calls in the engine's completion wait.
+    pub engine_yields: u64,
+    /// Per-partition counters, indexed by partition id (partition 0 is
+    /// the engine thread's own shard).
+    pub partitions: Vec<PartitionStats>,
+}
+
+impl PoolStats {
+    /// Imbalance summary: `(max, min)` busy ticks over all partitions
+    /// (`(0, 0)` for an empty pool). A wide spread means the static
+    /// `i % nparts` sharding left some partition with systematically
+    /// heavier SMs.
+    pub fn busy_imbalance(&self) -> (u64, u64) {
+        let max = self.partitions.iter().map(|p| p.busy_ticks).max();
+        let min = self.partitions.iter().map(|p| p.busy_ticks).min();
+        (max.unwrap_or(0), min.unwrap_or(0))
+    }
+
+    /// Total SM ticks executed across every partition.
+    pub fn busy_total(&self) -> u64 {
+        self.partitions.iter().map(|p| p.busy_ticks).sum()
+    }
+}
+
+/// Why an SM tick could not open (or extend) a batched window, in the
+/// order the proof obligations are checked by `Engine`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchClose {
+    /// Batching is off for this machine: per-SM VRMs, or the
+    /// `max_batch_ticks` knob is below 2.
+    Disabled,
+    /// A VF transition is pending on the SM or memory domain, so
+    /// in-window tick times cannot be frozen.
+    VfTransition,
+    /// The memory system is not quiescent: a delivery could reach an SM
+    /// inside the window.
+    MemoryActive,
+    /// The distance to the next epoch boundary or to the cycle-limit
+    /// check leaves no room for a window of at least 2 ticks.
+    EpochOrCycleCap,
+    /// Some SM is not quiescent (staged access or non-empty queues).
+    SmActive,
+    /// Some SM's issue runway ([`crate::sm::Sm::batch_horizon`]) is too
+    /// short: a schedulable warp could reach memory or retire within
+    /// the window.
+    IssueRunway,
+}
+
+/// What capped the length of a window that did open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowBound {
+    /// The `max_batch_ticks` knob itself.
+    Knob,
+    /// The next epoch boundary.
+    EpochCap,
+    /// The cycle-limit check.
+    LimitCap,
+    /// The shortest per-SM issue runway.
+    Horizon,
+}
+
+/// Engine-thread breakdown of tick batching: window sizes, what bounded
+/// them, and why per-tick fallbacks happened.
+///
+/// Replaces the bare `Engine::batched_ticks` count as the profiling
+/// surface (that accessor remains, and remains part of
+/// [`crate::stats::RunStats`]); everything here stays out of `RunStats`
+/// and out of snapshots. Deterministic at every thread count — the
+/// counters are driven purely by the engine's own proof attempts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchWindowStats {
+    /// Batched windows opened.
+    pub windows: u64,
+    /// SM ticks executed inside those windows (equals
+    /// `Engine::batched_ticks`).
+    pub ticks: u64,
+    /// Window-size distribution over log2 buckets; see
+    /// [`WINDOW_SIZE_BUCKETS`].
+    pub size_histogram: [u64; WINDOW_SIZE_BUCKETS],
+    /// Windows whose length was capped by the `max_batch_ticks` knob.
+    pub bounded_by_knob: u64,
+    /// Windows capped by the next epoch boundary.
+    pub bounded_by_epoch: u64,
+    /// Windows capped by the cycle-limit check.
+    pub bounded_by_limit: u64,
+    /// Windows capped by the shortest per-SM issue runway.
+    pub bounded_by_horizon: u64,
+    /// Per-tick fallbacks: batching disabled for the machine.
+    pub closed_disabled: u64,
+    /// Per-tick fallbacks: pending VF transition.
+    pub closed_vf_transition: u64,
+    /// Per-tick fallbacks: memory system active.
+    pub closed_memory_active: u64,
+    /// Per-tick fallbacks: epoch/cycle cap left no room.
+    pub closed_epoch_or_cycle_cap: u64,
+    /// Per-tick fallbacks: an SM was not quiescent.
+    pub closed_sm_active: u64,
+    /// Per-tick fallbacks: an SM's issue runway was too short.
+    pub closed_issue_runway: u64,
+}
+
+impl BatchWindowStats {
+    /// Records a window of `w` ticks whose length was capped by `bound`.
+    pub(crate) fn record_window(&mut self, w: u64, bound: WindowBound) {
+        self.windows += 1;
+        // Saturating: a diagnostic must never abort a run, and the sum
+        // can only saturate when `w` itself is near the u64 horizon.
+        self.ticks = self.ticks.saturating_add(w);
+        // w >= 2 always, so floor(log2(w)) >= 1.
+        let log2 = 63 - u64::leading_zeros(w.max(2)) as usize;
+        let bucket = (log2 - 1).min(WINDOW_SIZE_BUCKETS - 1);
+        self.size_histogram[bucket] += 1;
+        match bound {
+            WindowBound::Knob => self.bounded_by_knob += 1,
+            WindowBound::EpochCap => self.bounded_by_epoch += 1,
+            WindowBound::LimitCap => self.bounded_by_limit += 1,
+            WindowBound::Horizon => self.bounded_by_horizon += 1,
+        }
+    }
+
+    /// Records one per-tick fallback and its reason.
+    pub(crate) fn record_close(&mut self, close: BatchClose) {
+        match close {
+            BatchClose::Disabled => self.closed_disabled += 1,
+            BatchClose::VfTransition => self.closed_vf_transition += 1,
+            BatchClose::MemoryActive => self.closed_memory_active += 1,
+            BatchClose::EpochOrCycleCap => self.closed_epoch_or_cycle_cap += 1,
+            BatchClose::SmActive => self.closed_sm_active += 1,
+            BatchClose::IssueRunway => self.closed_issue_runway += 1,
+        }
+    }
+
+    /// Total per-tick fallbacks across every close reason.
+    pub fn closes_total(&self) -> u64 {
+        self.closed_disabled
+            + self.closed_vf_transition
+            + self.closed_memory_active
+            + self.closed_epoch_or_cycle_cap
+            + self.closed_sm_active
+            + self.closed_issue_runway
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_sizes_land_in_log2_buckets() {
+        let mut stats = BatchWindowStats::default();
+        stats.record_window(2, WindowBound::Knob);
+        stats.record_window(3, WindowBound::Knob);
+        stats.record_window(4, WindowBound::EpochCap);
+        stats.record_window(1024, WindowBound::Knob);
+        stats.record_window(u64::MAX, WindowBound::Horizon);
+        assert_eq!(stats.size_histogram[0], 2, "2 and 3 share the first bucket");
+        assert_eq!(stats.size_histogram[1], 1);
+        assert_eq!(stats.size_histogram[9], 1, "1024 = 2^10");
+        assert_eq!(stats.size_histogram[WINDOW_SIZE_BUCKETS - 1], 1);
+        assert_eq!(stats.windows, 5);
+        assert_eq!(stats.bounded_by_knob, 3);
+        assert_eq!(stats.bounded_by_epoch, 1);
+        assert_eq!(stats.bounded_by_horizon, 1);
+    }
+
+    #[test]
+    fn close_reasons_accumulate_and_total() {
+        let mut stats = BatchWindowStats::default();
+        stats.record_close(BatchClose::Disabled);
+        stats.record_close(BatchClose::MemoryActive);
+        stats.record_close(BatchClose::MemoryActive);
+        stats.record_close(BatchClose::IssueRunway);
+        assert_eq!(stats.closed_memory_active, 2);
+        assert_eq!(stats.closes_total(), 4);
+    }
+
+    #[test]
+    fn imbalance_summary_spans_the_partitions() {
+        let mut pool = PoolStats::default();
+        assert_eq!(pool.busy_imbalance(), (0, 0));
+        pool.partitions = vec![
+            PartitionStats {
+                busy_ticks: 10,
+                ..PartitionStats::default()
+            },
+            PartitionStats {
+                busy_ticks: 4,
+                ..PartitionStats::default()
+            },
+        ];
+        assert_eq!(pool.busy_imbalance(), (10, 4));
+        assert_eq!(pool.busy_total(), 14);
+    }
+}

@@ -370,10 +370,13 @@ fn cmd_ci() -> i32 {
     // Serving-layer smoke: spawn the daemon on a unix socket, drive a
     // duplicate-heavy mix through `sim-load` (which merges `serve/`
     // rows into `BENCH_sim.json` — this step therefore runs AFTER the
-    // perf_micro bench, which rewrites that file), and gate on at
-    // least one cache hit, a clean shutdown, and the caching/warm-start
-    // speedups the rows claim.
-    println!("==> serve smoke: daemon + duplicate-heavy load");
+    // perf_micro bench, which rewrites that file), then query the live
+    // daemon's `Stats` frame through `sim-stat --selfcheck` (hits >= 1,
+    // phase histograms coherent, valid stats JSON, rendered artifacts
+    // under `target/serve-stats`). Gates: at least one cache hit, a
+    // clean shutdown, and the caching/warm-start speedups the rows
+    // claim.
+    println!("==> serve smoke: daemon + duplicate-heavy load + stats introspection");
     let serve_started = Instant::now();
     match run_serve_smoke(&workspace_root()) {
         Ok(msg) => println!(
@@ -453,15 +456,19 @@ fn check_parallel_speedup(path: &Path) -> Result<String, String> {
 
 /// Spawns the release `sim-serve` daemon on a scratch unix socket,
 /// drives the default duplicate-heavy `sim-load` mix through it
-/// (merging `serve/` rows into `BENCH_sim.json`), and asserts:
-/// at least one cache hit, a clean daemon shutdown, cached replies
-/// at least 10x faster than cold simulations, and warm-started sweeps
-/// faster than their from-cycle-0 equivalents.
+/// (merging `serve/` rows into `BENCH_sim.json`), then queries the
+/// live daemon's telemetry through `sim-stat --selfcheck` (which gates
+/// coherent phase histograms and valid stats JSON, renders the
+/// artifacts under `target/serve-stats`, and shuts the daemon down).
+/// Asserts: at least one cache hit, a clean daemon shutdown, cached
+/// replies at least 10x faster than cold simulations, and warm-started
+/// sweeps faster than their from-cycle-0 equivalents.
 fn run_serve_smoke(root: &Path) -> Result<String, String> {
     let sock = root.join("target").join("sim-serve-smoke.sock");
     let _ = std::fs::remove_file(&sock);
     let serve_bin = root.join("target").join("release").join("sim-serve");
     let load_bin = root.join("target").join("release").join("sim-load");
+    let stat_bin = root.join("target").join("release").join("sim-stat");
 
     let mut daemon = Command::new(&serve_bin)
         .arg("--unix")
@@ -492,7 +499,7 @@ fn run_serve_smoke(root: &Path) -> Result<String, String> {
         .args(["--endpoint", &endpoint])
         .args(["--min-hits", "1"])
         .args(["--bench", "BENCH_sim.json"])
-        .arg("--shutdown")
+        .arg("--stats")
         .current_dir(root)
         .status();
     let load = match load {
@@ -508,6 +515,36 @@ fn run_serve_smoke(root: &Path) -> Result<String, String> {
         let _ = daemon.wait();
         return Err(format!(
             "sim-load failed ({load}): no cache hit, or a protocol error"
+        ));
+    }
+
+    // Live-daemon introspection: one Stats frame, self-checked (hit
+    // count, histogram coherence, RFC 8259 stats JSON), rendered to
+    // `target/serve-stats` for CI to upload, then a clean shutdown.
+    let stats_dir = root.join("target").join("serve-stats");
+    let stat = Command::new(&stat_bin)
+        .args(["--endpoint", &endpoint])
+        .args(["--min-hits", "1"])
+        .arg("--selfcheck")
+        .arg("--out")
+        .arg(&stats_dir)
+        .arg("--shutdown")
+        .current_dir(root)
+        .status();
+    let stat = match stat {
+        Ok(status) => status,
+        Err(e) => {
+            let _ = daemon.kill();
+            let _ = daemon.wait();
+            return Err(format!("cannot spawn {}: {e}", stat_bin.display()));
+        }
+    };
+    if !stat.success() {
+        let _ = daemon.kill();
+        let _ = daemon.wait();
+        return Err(format!(
+            "sim-stat failed ({stat}): incoherent stats frame, invalid \
+             stats JSON, or a protocol error"
         ));
     }
 
@@ -545,7 +582,7 @@ fn run_serve_smoke(root: &Path) -> Result<String, String> {
     }
     Ok(format!(
         "cached {:.0}x over cold, warm-start {:.2}x over cold sweep, \
-         daemon shut down cleanly",
+         stats frame coherent, daemon shut down cleanly",
         cold / cached.max(1.0),
         warm_cold / warm_start.max(1.0)
     ))
